@@ -1,0 +1,367 @@
+package ggcg
+
+// One benchmark per reproduced experiment (see DESIGN.md §4 and
+// EXPERIMENTS.md). The E-numbers match the experiment index; the paired
+// benchmarks regenerate the paper's comparisons (table-driven vs baseline,
+// naive vs improved construction, with vs without reverse operators).
+
+import (
+	"testing"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/cgram"
+	"ggcg/internal/codegen"
+	"ggcg/internal/corpus"
+	"ggcg/internal/ir"
+	"ggcg/internal/matcher"
+	"ggcg/internal/mdgen"
+	"ggcg/internal/pcc"
+	"ggcg/internal/peep"
+	"ggcg/internal/tablegen"
+	"ggcg/internal/transform"
+	"ggcg/internal/vax"
+	"ggcg/internal/vaxsim"
+)
+
+// E1: construct the instruction-selection tables from the full replicated
+// VAX description (§8's grammar/state statistics).
+func BenchmarkE1_TableConstruction(b *testing.B) {
+	g, err := vax.Grammar()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tablegen.Build(g, tablegen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchUnit(b *testing.B, n int) *ir.Unit {
+	b.Helper()
+	u, err := cfront.Compile(corpus.Large(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+// E2: code generation speed, table-driven generator (the paper's 80.1 s
+// side).
+func BenchmarkE2_TableDriven(b *testing.B) {
+	u := benchUnit(b, 40)
+	if _, err := vax.Tables(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Compile(u, codegen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2: code generation speed, ad hoc baseline (the paper's 55.4 s side).
+func BenchmarkE2_Baseline(b *testing.B) {
+	u := benchUnit(b, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pcc.Compile(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func compileCorpus(b *testing.B, baseline bool) []struct {
+	prog *vaxsim.Program
+	args []int64
+} {
+	b.Helper()
+	var out []struct {
+		prog *vaxsim.Program
+		args []int64
+	}
+	for _, p := range corpus.Programs() {
+		u, err := cfront.Compile(p.Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var asm string
+		if baseline {
+			res, err := pcc.Compile(u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			asm = res.Asm
+		} else {
+			res, err := codegen.Compile(u, codegen.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			asm = res.Asm
+		}
+		prog, err := vaxsim.Assemble(asm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, struct {
+			prog *vaxsim.Program
+			args []int64
+		}{prog, p.Args})
+	}
+	return out
+}
+
+// E3: dynamic quality of the generated code — simulate the whole corpus
+// compiled by the table-driven generator (§8's "as good or better").
+func BenchmarkE3_ExecuteTableDriven(b *testing.B) {
+	progs := compileCorpus(b, false)
+	b.ResetTimer()
+	steps := int64(0)
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			m := vaxsim.New(p.prog)
+			if _, err := m.Call("_main", p.args...); err != nil {
+				b.Fatal(err)
+			}
+			steps += m.Steps
+		}
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "instructions/op")
+}
+
+// E3: the same corpus compiled by the baseline.
+func BenchmarkE3_ExecuteBaseline(b *testing.B) {
+	progs := compileCorpus(b, true)
+	b.ResetTimer()
+	steps := int64(0)
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			m := vaxsim.New(p.prog)
+			if _, err := m.Call("_main", p.args...); err != nil {
+				b.Fatal(err)
+			}
+			steps += m.Steps
+		}
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "instructions/op")
+}
+
+func grammarWithout(b *testing.B, strip bool) *cgram.Grammar {
+	b.Helper()
+	src := vax.GenericGrammar
+	if strip {
+		var out []byte
+		for _, line := range splitLines(src) {
+			if containsAny(line, "RMinus", "RDiv", "RMod", "RLsh", "RRsh", "RAssign") {
+				continue
+			}
+			out = append(out, line...)
+			out = append(out, '\n')
+		}
+		src = string(out)
+	}
+	expanded, err := mdgen.Expand(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := cgram.Parse(expanded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if len(sub) <= len(s) && indexOf(s, sub) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// E4: table construction with the reverse-operator productions (§5.1.3's
+// +25% grammar / +60% tables cost side).
+func BenchmarkE4_TablesWithReverseOps(b *testing.B) {
+	g := grammarWithout(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tablegen.Build(g, tablegen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E4: table construction without them.
+func BenchmarkE4_TablesWithoutReverseOps(b *testing.B) {
+	g := grammarWithout(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tablegen.Build(g, tablegen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E5: the naive first-cut constructor (the "over two hours" configuration
+// of §7).
+func BenchmarkE5_NaiveConstruction(b *testing.B) {
+	g, err := vax.Grammar()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tablegen.Build(g, tablegen.Options{Naive: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E5: the improved constructor ("now takes ten minutes", §9).
+func BenchmarkE5_ImprovedConstruction(b *testing.B) {
+	g, err := vax.Grammar()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tablegen.Build(g, tablegen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// nullSem drives the matcher without semantic work, isolating parse time.
+type nullSem struct{}
+
+func (nullSem) Reduce(*cgram.Prod, []matcher.Value) (any, error)    { return nil, nil }
+func (nullSem) Predicate(string, *cgram.Prod, []matcher.Value) bool { return false }
+
+// E6: the pattern matching phase alone — the paper's "our code generator
+// spends most of its time parsing" (§8).
+func BenchmarkE6_PatternMatchOnly(b *testing.B) {
+	u := benchUnit(b, 40)
+	tu, err := transform.Unit(u, transform.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var streams [][]ir.Token
+	for _, f := range tu.Funcs {
+		for _, it := range f.Items {
+			if it.Kind == ir.ItemTree {
+				streams = append(streams, ir.Linearize(it.Tree))
+			}
+		}
+	}
+	t, err := vax.Tables()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := matcher.New(t, nullSem{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range streams {
+			if _, err := m.Match(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E6 companion: the tree-transformation phase alone.
+func BenchmarkE6_TransformOnly(b *testing.B) {
+	u := benchUnit(b, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transform.Unit(u, transform.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A: the appendix statement end to end through the code generator.
+func BenchmarkA_AppendixStatement(b *testing.B) {
+	tree := ir.MustParse(
+		`(Assign.l (Name.l a) (Plus.l (Const.b 27) (Indir.b (Plus.l (Const.b -4) (Dreg.l fp)))))`)
+	if _, err := vax.Tables(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &ir.Func{Name: "foo", FrameSize: 4}
+		f.Emit(tree.Clone())
+		f.Emit(&ir.Node{Op: ir.Ret, Type: ir.Void})
+		u := &ir.Unit{Globals: []ir.Global{{Name: "a", Type: ir.Long}}, Funcs: []*ir.Func{f}}
+		if _, err := codegen.Compile(u, codegen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate benchmarks: the simulator and the front end, to put the E2
+// numbers in context.
+func BenchmarkSimulatorLargeProgram(b *testing.B) {
+	u := benchUnit(b, 15)
+	res, err := codegen.Compile(u, codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := vaxsim.Assemble(res.Asm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vaxsim.New(prog).Call("_main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrontEnd(b *testing.B) {
+	src := corpus.Large(40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfront.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Peephole: the optimizer pass over generated output (the §6.1 extension).
+func BenchmarkPeepholeOptimizer(b *testing.B) {
+	u := benchUnit(b, 40)
+	res, err := codegen.Compile(u, codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peep.Optimize(res.Asm)
+	}
+}

@@ -1,0 +1,85 @@
+// Ggcc compiles a small dialect of C to VAX assembly using the
+// table-driven Graham-Glanville code generator (or, with -baseline, the
+// hand-written ad hoc generator it is compared against), optionally
+// executing the result on the bundled VAX-subset simulator.
+//
+// Usage:
+//
+//	ggcc [flags] file.c
+//
+//	-S            write assembly to stdout (default when not running)
+//	-o file       write assembly to file
+//	-baseline     use the ad hoc baseline code generator
+//	-no-reverse   disable the reverse-operator reordering (§5.1.3)
+//	-trace        print the pattern matcher's shift/reduce actions
+//	-run          assemble and execute main(), printing its result
+//	-stats        print code-generation statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ggcg"
+)
+
+func main() {
+	var (
+		outFile   = flag.String("o", "", "write assembly to `file`")
+		baseline  = flag.Bool("baseline", false, "use the ad hoc baseline code generator")
+		optimize  = flag.Bool("O", false, "run the peephole optimizer over the output")
+		noReverse = flag.Bool("no-reverse", false, "disable reverse binary operators")
+		trace     = flag.Bool("trace", false, "print pattern matcher actions")
+		run       = flag.Bool("run", false, "assemble and execute main()")
+		stats     = flag.Bool("stats", false, "print code-generation statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ggcc [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := ggcg.Config{Baseline: *baseline, NoReverseOps: *noReverse, Peephole: *optimize}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	out, err := ggcg.Compile(string(src), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := out.Stats
+		fmt.Fprintf(os.Stderr,
+			"trees %d  shifts %d  reduces %d  spills %d  binding idioms %d  range idioms %d  asm lines %d\n",
+			s.Trees, s.Shifts, s.Reduces, s.Spills, s.BindingIdioms, s.RangeIdioms, s.AsmLines)
+	}
+	switch {
+	case *outFile != "":
+		if err := os.WriteFile(*outFile, []byte(out.Asm), 0o644); err != nil {
+			fatal(err)
+		}
+	case !*run:
+		fmt.Print(out.Asm)
+	}
+	if *run {
+		m, err := ggcg.NewMachine(out.Asm)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := m.Call("main")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("main() = %d (%d instructions executed)\n", r, m.Steps())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ggcc:", err)
+	os.Exit(1)
+}

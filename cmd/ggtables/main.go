@@ -1,0 +1,122 @@
+// Ggtables runs the code generator generator: it type-replicates a machine
+// description grammar, constructs the SLR(1)-style instruction-selection
+// tables, and reports the statistics and diagnostics of §3.2 and §8 of the
+// paper (grammar sizes, state counts, disambiguated conflicts, semantic
+// blocks, and — with -blocks — a bounded search for syntactic blocks).
+//
+// Usage:
+//
+//	ggtables [flags] [description.g]
+//
+// With no file the built-in VAX description is used.
+//
+//	-naive        use the naive first-cut construction algorithm (§7)
+//	-conflicts    list every disambiguated conflict
+//	-blocks n     search for syntactic blocks on inputs up to n terminals
+//	-encode file  write the constructed tables to file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ggcg/internal/cgram"
+	"ggcg/internal/ir"
+	"ggcg/internal/mdgen"
+	"ggcg/internal/tablegen"
+	"ggcg/internal/vax"
+)
+
+func main() {
+	var (
+		naive     = flag.Bool("naive", false, "use the naive construction algorithm")
+		conflicts = flag.Bool("conflicts", false, "list disambiguated conflicts")
+		blocks    = flag.Int("blocks", 0, "search for syntactic blocks up to n terminals")
+		encode    = flag.String("encode", "", "write constructed tables to `file`")
+	)
+	flag.Parse()
+
+	src := vax.GenericGrammar
+	name := "built-in VAX description"
+	if flag.NArg() == 1 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src, name = string(data), flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: ggtables [flags] [description.g]")
+		os.Exit(2)
+	}
+
+	generic, err := cgram.Parse(mdgen.Generic(src))
+	if err != nil {
+		fatal(err)
+	}
+	expanded, err := mdgen.Expand(src)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := cgram.Parse(expanded)
+	if err != nil {
+		fatal(err)
+	}
+	if err := g.Validate(ir.TermArity); err != nil {
+		fmt.Fprintln(os.Stderr, "warning:", err)
+	}
+	t, err := tablegen.Build(g, tablegen.Options{Naive: *naive})
+	if err != nil {
+		fatal(err)
+	}
+
+	gs, fs := generic.Stats(), g.Stats()
+	fmt.Printf("%s\n", name)
+	fmt.Printf("generic:    %4d productions  %4d terminals  %4d nonterminals\n",
+		gs.Productions, gs.Terminals, gs.Nonterminals)
+	fmt.Printf("replicated: %4d productions  %4d terminals  %4d nonterminals  %4d chain rules\n",
+		fs.Productions, fs.Terminals, fs.Nonterminals, fs.ChainRules)
+	sz := t.Size()
+	fmt.Printf("tables:     %4d states  %5d action entries  %5d goto entries  %7d bytes\n",
+		t.Stats.States, sz.ActionEntries, sz.GotoEntries, sz.Bytes)
+	fmt.Printf("conflicts:  %d disambiguated  (%d dynamic choices, %d semantic blocks)\n",
+		len(t.Conflicts), len(t.Choices), len(t.SemBlocks))
+	for _, sb := range t.SemBlocks {
+		fmt.Printf("  semantic block: state %d on %s, productions %v\n", sb.State, sb.Term, sb.Prods)
+	}
+	if *conflicts {
+		for _, c := range t.Conflicts {
+			fmt.Println(" ", c)
+		}
+	}
+	if *blocks > 0 {
+		bs, complete := tablegen.CheckBlocks(t, ir.TermArity, *blocks, 500000)
+		fmt.Printf("syntactic block search (inputs up to %d terminals, exhaustive=%v): %d potential blocks\n",
+			*blocks, complete, len(bs))
+		for i, blk := range bs {
+			if i >= 20 {
+				fmt.Printf("  ... and %d more\n", len(bs)-20)
+				break
+			}
+			fmt.Println(" ", blk)
+		}
+	}
+	if *encode != "" {
+		f, err := os.Create(*encode)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tables written to %s\n", *encode)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ggtables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Vaxrun assembles a VAX-subset assembly file and executes a function on
+// the bundled simulator, printing the result and execution statistics.
+//
+// Usage:
+//
+//	vaxrun [flags] file.s [arg...]
+//
+//	-f name    function to call (default main)
+//	-counts    print per-mnemonic dynamic instruction counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"ggcg/internal/vaxsim"
+)
+
+func main() {
+	var (
+		fn     = flag.String("f", "main", "function to call")
+		counts = flag.Bool("counts", false, "print per-mnemonic instruction counts")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: vaxrun [flags] file.s [arg...]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var args []int64
+	for _, a := range flag.Args()[1:] {
+		v, err := strconv.ParseInt(a, 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad argument %q: %v", a, err))
+		}
+		args = append(args, v)
+	}
+	prog, err := vaxsim.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	m := vaxsim.New(prog)
+	r, err := m.Call("_"+*fn, args...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s(%v) = %d\n", *fn, args, r)
+	fmt.Printf("%d instructions executed\n", m.Steps)
+	if *counts {
+		type mc struct {
+			mn string
+			n  int64
+		}
+		var list []mc
+		for mn, n := range m.Counts {
+			list = append(list, mc{mn, n})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].n > list[j].n })
+		for _, c := range list {
+			fmt.Printf("%10d  %s\n", c.n, c.mn)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vaxrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Tracing reproduces the paper's appendix: the shift/reduce actions the
+// pattern matcher performs while generating code for the Pascal statement
+//
+//	a := 27 + b
+//
+// where a is a long global and b a byte local in the frame. The tree is
+// built directly (standing in for the Berkeley Pascal front end), and the
+// trace shows every parser action with the production it reduces by,
+// including the encapsulating addressing-mode reduction and the
+// syntactically inserted byte-to-long conversion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ggcg/internal/codegen"
+	"ggcg/internal/ir"
+	"ggcg/internal/matcher"
+)
+
+func main() {
+	// The appendix tree, in prefix form:
+	//   Assign.l Name.l Plus.l Const.b Indir.b Plus.l Const.b Dreg.l
+	tree := ir.MustParse(
+		`(Assign.l (Name.l a) (Plus.l (Const.b 27) (Indir.b (Plus.l (Const.b -4) (Dreg.l fp)))))`)
+	fmt.Println("input tree:", tree)
+	fmt.Println("linearized:", ir.TermString(ir.Linearize(tree)))
+	fmt.Println()
+
+	f := &ir.Func{Name: "foo", FrameSize: 4}
+	f.Emit(tree)
+	f.Emit(&ir.Node{Op: ir.Ret, Type: ir.Void})
+	u := &ir.Unit{
+		Globals: []ir.Global{{Name: "a", Type: ir.Long}},
+		Funcs:   []*ir.Func{f},
+	}
+
+	fmt.Println("parser actions:")
+	res, err := codegen.Compile(u, codegen.Options{
+		Trace: func(e matcher.TraceEvent) { fmt.Println("  " + e.String()) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngenerated code:")
+	fmt.Print(res.Asm)
+}

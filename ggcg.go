@@ -1,0 +1,198 @@
+// Package ggcg is a reproduction of "An Experiment in Table Driven Code
+// Generation" (Graham, Henry, Schulman; PLDI 1982): a Graham-Glanville
+// local code generator for the VAX-11 in which instructions are selected by
+// an SLR(1)-style shift/reduce pattern matcher driven by tables constructed
+// automatically from a machine description grammar.
+//
+// The package compiles a small dialect of C to VAX assembly with either the
+// table-driven code generator or a hand-written ad hoc baseline in the
+// style of the Portable C Compiler's second pass, and can execute the
+// generated assembly on a bundled VAX-subset simulator. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for the reproduced measurements.
+//
+//	out, err := ggcg.Compile(`int main() { return 6 * 7; }`, ggcg.Config{})
+//	...
+//	m, err := ggcg.NewMachine(out.Asm)
+//	r, err := m.Call("main")   // r == 42
+package ggcg
+
+import (
+	"fmt"
+	"io"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/codegen"
+	"ggcg/internal/matcher"
+	"ggcg/internal/pcc"
+	"ggcg/internal/peep"
+	"ggcg/internal/tablegen"
+	"ggcg/internal/transform"
+	"ggcg/internal/vax"
+	"ggcg/internal/vaxsim"
+)
+
+// Config selects how a program is compiled.
+type Config struct {
+	// Baseline selects the hand-written ad hoc code generator (the PCC
+	// second-pass stand-in) instead of the table-driven one.
+	Baseline bool
+
+	// NoReverseOps disables the reverse binary operators of the
+	// evaluation-ordering heuristic (§5.1.3), the E4 ablation.
+	NoReverseOps bool
+
+	// Peephole runs the assembly-level peephole optimizer over the
+	// output, the alternative organization §6.1 of the paper discusses.
+	// It applies to both generators.
+	Peephole bool
+
+	// Trace receives the pattern matcher's shift/reduce actions, one per
+	// line — the listing style of the paper's appendix. Ignored by the
+	// baseline generator.
+	Trace io.Writer
+}
+
+// Stats reports code-generation work for one compilation.
+type Stats struct {
+	Trees         int // expression trees matched
+	Shifts        int // parser shift actions
+	Reduces       int // parser reductions
+	Spills        int // registers spilled to virtual registers
+	BindingIdioms int // three-address forms bound to two-address forms
+	RangeIdioms   int // increment/decrement/clear simplifications
+	AsmLines      int // instructions emitted
+}
+
+// Compiled is the result of a compilation.
+type Compiled struct {
+	Asm   string
+	Stats Stats
+}
+
+// Compile compiles source text (the C dialect cfront accepts) to VAX
+// assembly.
+func Compile(src string, cfg Config) (*Compiled, error) {
+	unit, err := cfront.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Baseline {
+		res, err := pcc.Compile(unit)
+		if err != nil {
+			return nil, err
+		}
+		out := &Compiled{Asm: res.Asm, Stats: Stats{AsmLines: res.AsmLines, Spills: res.Spills}}
+		if cfg.Peephole {
+			var pst peep.Stats
+			out.Asm, pst = peep.Optimize(out.Asm)
+			out.Stats.AsmLines -= pst.LinesRemoved
+		}
+		return out, nil
+	}
+	opt := codegen.Options{
+		Transform: transform.Options{NoReverseOps: cfg.NoReverseOps},
+		Peephole:  cfg.Peephole,
+	}
+	if cfg.Trace != nil {
+		w := cfg.Trace
+		opt.Trace = func(e matcher.TraceEvent) { fmt.Fprintln(w, e.String()) }
+	}
+	res, err := codegen.Compile(unit, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Asm: res.Asm, Stats: Stats{
+		Trees:         res.Stats.Matcher.Trees,
+		Shifts:        res.Stats.Matcher.Shifts,
+		Reduces:       res.Stats.Matcher.Reduces,
+		Spills:        res.Stats.Spills,
+		BindingIdioms: res.Stats.BindingIdioms,
+		RangeIdioms:   res.Stats.RangeIdioms,
+		AsmLines:      res.Stats.AsmLines,
+	}}, nil
+}
+
+// Machine executes generated assembly on the VAX-subset simulator.
+type Machine struct {
+	m *vaxsim.Machine
+}
+
+// NewMachine assembles a program for execution.
+func NewMachine(asm string) (*Machine, error) {
+	p, err := vaxsim.Assemble(asm)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{m: vaxsim.New(p)}, nil
+}
+
+// Call resets the machine and invokes a function (named as in the source;
+// the assembler-level underscore is added here) with longword arguments,
+// returning its int result.
+func (m *Machine) Call(fn string, args ...int64) (int64, error) {
+	return m.m.Call("_"+fn, args...)
+}
+
+// Steps returns the number of simulated instructions executed so far.
+func (m *Machine) Steps() int64 { return m.m.Steps }
+
+// ReadGlobal reads a global variable of the given byte size (1, 2 or 4)
+// as a signed integer.
+func (m *Machine) ReadGlobal(name string, size int) (int64, error) {
+	return m.m.ReadGlobal("_"+name, size)
+}
+
+// GrammarInfo summarizes the VAX machine description and its constructed
+// tables — the statistics of the paper's §8.
+type GrammarInfo struct {
+	GenericProductions int // before type replication
+	Productions        int // after type replication
+	Terminals          int
+	Nonterminals       int
+	States             int
+	Conflicts          int // disambiguated shift/reduce and reduce/reduce conflicts
+	ChainRules         int
+}
+
+// Info returns grammar and table statistics for the VAX description.
+func Info() (GrammarInfo, error) {
+	gen, err := vax.GenericStats()
+	if err != nil {
+		return GrammarInfo{}, err
+	}
+	full, err := vax.Grammar()
+	if err != nil {
+		return GrammarInfo{}, err
+	}
+	t, err := vax.Tables()
+	if err != nil {
+		return GrammarInfo{}, err
+	}
+	fs := full.Stats()
+	return GrammarInfo{
+		GenericProductions: gen.Productions,
+		Productions:        fs.Productions,
+		Terminals:          fs.Terminals,
+		Nonterminals:       fs.Nonterminals,
+		States:             t.Stats.States,
+		Conflicts:          len(t.Conflicts),
+		ChainRules:         fs.ChainRules,
+	}, nil
+}
+
+// BuildTables constructs the instruction-selection tables from the VAX
+// description, optionally with the naive first-cut algorithm (the
+// configuration that took "over two hours of VAX 11/780 CPU time", §7).
+// It exists so benchmarks and tools can measure construction itself;
+// Compile uses a cached copy.
+func BuildTables(naive bool) (states int, err error) {
+	g, err := vax.Grammar()
+	if err != nil {
+		return 0, err
+	}
+	t, err := tablegen.Build(g, tablegen.Options{Naive: naive})
+	if err != nil {
+		return 0, err
+	}
+	return t.Stats.States, nil
+}

@@ -1,0 +1,3 @@
+module ggcg
+
+go 1.22

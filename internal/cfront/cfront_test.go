@@ -1,0 +1,552 @@
+package cfront
+
+import (
+	"strings"
+	"testing"
+
+	"ggcg/internal/ir"
+	"ggcg/internal/irinterp"
+)
+
+// runMain compiles the source and interprets main(), returning its result.
+func runMain(t *testing.T, src string, args ...int64) int64 {
+	t.Helper()
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range u.Funcs {
+		for _, it := range f.Items {
+			if it.Kind == ir.ItemTree {
+				if verr := it.Tree.Validate(); verr != nil {
+					t.Fatalf("invalid tree from front end: %v\n%s", verr, it.Tree)
+				}
+			}
+		}
+	}
+	r, err := irinterp.New(u).Call("main", args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func expectMain(t *testing.T, src string, want int64, args ...int64) {
+	t.Helper()
+	if got := runMain(t, src, args...); got != want {
+		t.Errorf("main(%v) = %d, want %d\nsource:\n%s", args, got, want, src)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectMain(t, `int main() { return 42; }`, 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	expectMain(t, `int main() { return (3 + 4) * 5 - 36 / 6 % 4; }`, 33)
+}
+
+func TestGlobalsAndAssignment(t *testing.T) {
+	expectMain(t, `
+int a;
+int b = 10;
+int main() { a = 27; return a + b; }`, 37)
+}
+
+func TestLocalsAndInit(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int x = 5;
+	int y;
+	y = x * 3;
+	return y - x;
+}`, 10)
+}
+
+func TestCharShortTypes(t *testing.T) {
+	expectMain(t, `
+char c;
+short s;
+int main() {
+	c = 300;      /* truncates to 44 */
+	s = 70000;    /* truncates to 4464 */
+	return c + s;
+}`, 44+4464)
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+int classify(int x) {
+	if (x < 0) return -1;
+	else if (x == 0) return 0;
+	else return 1;
+}
+int main(int v) { return classify(v); }`
+	expectMain(t, src, -1, -5)
+	expectMain(t, src, 0, 0)
+	expectMain(t, src, 1, 7)
+}
+
+func TestWhileLoop(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int i = 1, s = 0;
+	while (i <= 10) { s += i; i++; }
+	return s;
+}`, 55)
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 100; i++) {
+		if (i % 2) continue;
+		if (i > 10) break;
+		s += i;
+	}
+	return s;   /* 0+2+4+6+8+10 */
+}`, 30)
+}
+
+func TestDoWhile(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int i = 0, n = 0;
+	do { n++; i += 3; } while (i < 10);
+	return n;
+}`, 4)
+}
+
+func TestShortCircuit(t *testing.T) {
+	expectMain(t, `
+int g;
+int bump() { g++; return 1; }
+int main() {
+	g = 0;
+	if (0 && bump()) g += 100;
+	if (1 || bump()) g += 10;
+	if (1 && bump()) g += 1;
+	return g;   /* bump ran once: 10 + 1 + 1 */
+}`, 12)
+}
+
+func TestTernary(t *testing.T) {
+	expectMain(t, `int main(int x) { return x > 0 ? x : -x; }`, 9, -9)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	expectMain(t, `
+int fact(int n) {
+	if (n <= 1) return 1;
+	return n * fact(n - 1);
+}
+int main() { return fact(6); }`, 720)
+}
+
+func TestForwardCallDefaultsToInt(t *testing.T) {
+	expectMain(t, `
+int main() { return twice(21); }
+int twice(int x) { return x * 2; }`, 42)
+}
+
+func TestArrays(t *testing.T) {
+	expectMain(t, `
+int a[10];
+int main() {
+	int i;
+	for (i = 0; i < 10; i++) a[i] = i * i;
+	return a[7];
+}`, 49)
+}
+
+func TestLocalArraysAndPointers(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int buf[4];
+	int *p;
+	buf[0] = 1; buf[1] = 2; buf[2] = 3; buf[3] = 4;
+	p = buf;
+	p++;
+	return *p + p[1] + *(buf + 3);   /* 2 + 3 + 4 */
+}`, 9)
+}
+
+func TestPointerToGlobal(t *testing.T) {
+	expectMain(t, `
+int g;
+int main() {
+	int *p;
+	p = &g;
+	*p = 33;
+	return g + 9;
+}`, 42)
+}
+
+func TestPointerDifference(t *testing.T) {
+	expectMain(t, `
+int a[10];
+int main() {
+	int *p, *q;
+	p = &a[2];
+	q = &a[9];
+	return q - p;
+}`, 7)
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int i = 5, a, b;
+	a = i++;
+	b = --i;
+	return a * 100 + b * 10 + i;   /* 5,5,5 */
+}`, 555)
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int x = 10;
+	x += 5; x -= 3; x *= 4; x /= 2; x %= 13;
+	x <<= 2; x >>= 1; x &= 14; x |= 1; x ^= 2;
+	return x;
+}`, func() int64 {
+		x := int64(10)
+		x += 5
+		x -= 3
+		x *= 4
+		x /= 2
+		x %= 13
+		x <<= 2
+		x >>= 1
+		x &= 14
+		x |= 1
+		x ^= 2
+		return x
+	}())
+}
+
+func TestBitwiseOps(t *testing.T) {
+	expectMain(t, `int main() { return (0xff & 0x0f) | (1 << 8) ^ 0x100; }`, 0x0f)
+}
+
+func TestShifts(t *testing.T) {
+	expectMain(t, `int main(int x) { return (x << 3) + (x >> 1); }`, 85, 10)
+}
+
+func TestUnsignedArithmetic(t *testing.T) {
+	expectMain(t, `
+unsigned int u;
+int main() {
+	u = 0;
+	u = u - 2;           /* wraps */
+	return u / 1000000000;   /* 4294967294 / 1e9 = 4 */
+}`, 4)
+}
+
+func TestUnsignedComparison(t *testing.T) {
+	expectMain(t, `
+unsigned int u;
+int main() {
+	u = 0 - 1;
+	if (u > 1) return 1;
+	return 0;
+}`, 1)
+}
+
+func TestRegisterVariables(t *testing.T) {
+	expectMain(t, `
+int main() {
+	register int i, s;
+	s = 0;
+	for (i = 1; i <= 10; i++) s += i;
+	return s;
+}`, 55)
+}
+
+func TestFloatsAndDoubles(t *testing.T) {
+	expectMain(t, `
+double d;
+float f;
+int main() {
+	d = 1.5;
+	f = 2.5f;
+	d = d * 2 + f;
+	return (int)d;     /* 5.5 -> 5 */
+}`, 5)
+}
+
+func TestDoubleParams(t *testing.T) {
+	expectMain(t, `
+double half(double x) { return x / 2; }
+int main() { return (int)half(7.0); }`, 3)
+}
+
+func TestCasts(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int big = 300;
+	char c = (char)big;        /* 44 */
+	unsigned char u = (unsigned char)(0-1);  /* 255 */
+	return c + u;
+}`, 299)
+}
+
+func TestSizeof(t *testing.T) {
+	expectMain(t, `
+double d;
+int main() { return sizeof(char) + sizeof(short) + sizeof(int) + sizeof(double) + sizeof d + sizeof(int *); }`,
+		1+2+4+8+8+4)
+}
+
+func TestCommaOperator(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int i, s = 0;
+	for (i = 0; i < 3; i++, s += 10) ;
+	return s;
+}`, 30)
+}
+
+func TestCharLiteralsAndEscapes(t *testing.T) {
+	expectMain(t, `int main() { return 'a' + '\n'; }`, 'a'+'\n')
+}
+
+func TestChainedAssignment(t *testing.T) {
+	expectMain(t, `
+int a, b, c;
+int main() {
+	a = b = c = 14;
+	return a + b + c;
+}`, 42)
+}
+
+func TestNestedCalls(t *testing.T) {
+	expectMain(t, `
+int add(int a, int b) { return a + b; }
+int main() { return add(add(1, 2), add(3, add(4, 5))); }`, 15)
+}
+
+func TestHexAndNegativeLiterals(t *testing.T) {
+	expectMain(t, `int main() { return 0x10 + -6; }`, 10)
+}
+
+func TestConstantFolding(t *testing.T) {
+	u := MustCompile(`int g; int main() { g = 3 * 4 + 5; return g; }`)
+	// The assignment's right side must be a single constant node.
+	var found bool
+	for _, it := range u.Funcs[0].Items {
+		if it.Kind == ir.ItemTree && it.Tree.Op == ir.Assign {
+			if it.Tree.Kids[1].Op == ir.Const && it.Tree.Kids[1].Val == 17 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("3*4+5 was not folded to 17")
+	}
+}
+
+func TestAppendixShapedTree(t *testing.T) {
+	// a := 27 + b where b is a char local must produce the appendix tree
+	// shape: Assign.l Name.l Plus.l Const.b Indir.b Plus.l Const.b Dreg.l.
+	u := MustCompile(`
+long a;
+int foo() {
+	char b;
+	b = 100;
+	a = 27 + b;
+	return 0;
+}`)
+	var asgn *ir.Node
+	for _, it := range u.Funcs[0].Items {
+		if it.Kind == ir.ItemTree && it.Tree.Op == ir.Assign &&
+			it.Tree.Kids[0].Op == ir.Name && it.Tree.Kids[0].Sym == "a" {
+			asgn = it.Tree
+		}
+	}
+	if asgn == nil {
+		t.Fatal("assignment to a not found")
+	}
+	got := ir.TermString(ir.Linearize(asgn))
+	want := "Assign.l Name.l Plus.l Const.b Indir.b Plus.l Const.b Dreg.l"
+	if got != want {
+		t.Errorf("linearization = %q, want %q", got, want)
+	}
+}
+
+func TestIndexedAddressingShape(t *testing.T) {
+	// arr[i] for a long array must produce the Mul-by-Four indexed form.
+	u := MustCompile(`
+int arr[10];
+int i;
+int main() { return arr[i]; }`)
+	var ret *ir.Node
+	for _, it := range u.Funcs[0].Items {
+		if it.Kind == ir.ItemTree && it.Tree.Op == ir.Ret {
+			ret = it.Tree
+			break
+		}
+	}
+	s := ir.TermString(ir.Linearize(ret))
+	if !strings.Contains(s, "Mul.l Four") {
+		t.Errorf("indexing did not scale with the Four terminal: %s", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := map[string]string{
+		"undeclared":       `int main() { return x; }`,
+		"redeclared":       `int a; int a; int main() { return 0; }`,
+		"void var":         `void v; int main() { return 0; }`,
+		"not assignable":   `int main() { 3 = 4; return 0; }`,
+		"bad deref":        `int main() { int x; return *x; }`,
+		"float mod":        `int main() { return 1.5 % 2; }`,
+		"float param":      `int f(float x) { return 0; } int main() { return 0; }`,
+		"arg count":        `int f(int a, int b) { return a; } int main() { return f(1); }`,
+		"break outside":    `int main() { break; return 0; }`,
+		"array of void":    `int main() { register double d; return 0; }`,
+		"address of reg":   `int main() { register int r; return *(&r); }`,
+		"missing semi":     `int main() { return 0 }`,
+		"unterminated":     `int main() { return 0;`,
+		"bad char":         "int main() { return 0; } @",
+		"redefined":        `int f() { return 1; } int f() { return 2; } int main() { return 0; }`,
+		"two ptr add":      `int main() { int *p; int *q; return p + q; }`,
+		"return from void": `void f() { return 3; } int main() { return 0; }`,
+	}
+	for name, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled successfully", name)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectMain(t, `
+/* block comment
+   spanning lines */
+int main() {  // line comment
+	return 1; /* inline */
+}`, 1)
+}
+
+func TestGlobalFloatInit(t *testing.T) {
+	u := MustCompile(`double d = 2.5; int main() { return (int)(d * 2); }`)
+	r, err := irinterp.New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 5 {
+		t.Errorf("main = %d, want 5", r)
+	}
+}
+
+func TestFrameSizeAccounts(t *testing.T) {
+	u := MustCompile(`
+int main() {
+	char c;
+	double d;
+	int arr[4];
+	c = 1; d = 2; arr[0] = 3;
+	return c + (int)d + arr[0];
+}`)
+	if u.Funcs[0].FrameSize < 1+8+16 {
+		t.Errorf("frame size %d too small", u.Funcs[0].FrameSize)
+	}
+	r, err := irinterp.New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 6 {
+		t.Errorf("main = %d, want 6", r)
+	}
+}
+
+func TestScopes(t *testing.T) {
+	expectMain(t, `
+int x = 1;
+int main() {
+	int x = 2;
+	{
+		int x = 3;
+		if (x != 3) return 100;
+	}
+	return x;
+}`, 2)
+}
+
+func TestSwitchStatement(t *testing.T) {
+	src := `
+int classify(int x) {
+	switch (x) {
+	case 0: return 100;
+	case 1:
+	case 2: return 200;
+	case -3: return 300;
+	default: return 400;
+	}
+}
+int main(int v) { return classify(v); }`
+	expectMain(t, src, 100, 0)
+	expectMain(t, src, 200, 1)
+	expectMain(t, src, 200, 2)
+	expectMain(t, src, 300, -3)
+	expectMain(t, src, 400, 9)
+}
+
+func TestSwitchBreakAndFallthrough(t *testing.T) {
+	src := `
+int main(int v) {
+	int r = 0;
+	switch (v) {
+	case 1: r += 1;       /* falls through */
+	case 2: r += 10; break;
+	case 3: r += 100; break;
+	}
+	return r;
+}`
+	expectMain(t, src, 11, 1)
+	expectMain(t, src, 10, 2)
+	expectMain(t, src, 100, 3)
+	expectMain(t, src, 0, 7)
+}
+
+func TestSwitchNoDefaultFallsOut(t *testing.T) {
+	expectMain(t, `
+int main() {
+	int r = 5;
+	switch (r) { case 9: r = 0; }
+	return r;
+}`, 5)
+}
+
+func TestSwitchNested(t *testing.T) {
+	expectMain(t, `
+int main(int v) {
+	switch (v) {
+	case 1:
+		switch (v + 1) {
+		case 2: return 22;
+		default: return 23;
+		}
+	default: return 9;
+	}
+}`, 22, 1)
+}
+
+func TestSwitchErrors(t *testing.T) {
+	bad := map[string]string{
+		"case outside":   `int main() { case 1: return 0; }`,
+		"dup case":       `int main(int v) { switch (v) { case 1: return 1; case 1: return 2; } return 0; }`,
+		"dup default":    `int main(int v) { switch (v) { default: return 1; default: return 2; } return 0; }`,
+		"float switch":   `int main() { double d; switch (d) { case 1: return 1; } return 0; }`,
+		"non-const case": `int x; int main() { switch (x) { case x: return 1; } return 0; }`,
+	}
+	for name, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled successfully", name)
+		}
+	}
+}

@@ -1,0 +1,720 @@
+package cfront
+
+import (
+	"ggcg/internal/ir"
+)
+
+// expr is a parsed, typed expression: an rvalue tree plus, when the
+// expression is assignable, the lvalue tree an Assign destination uses
+// (a Name, an Indir of an address computation, or a dedicated register).
+type expr struct {
+	n  *ir.Node
+	lv *ir.Node
+	t  ctype
+}
+
+func rval(n *ir.Node, t ctype) expr                    { return expr{n: n, t: t} }
+func lvexpr(lv *ir.Node, t ctype, fetch *ir.Node) expr { return expr{n: fetch, lv: lv, t: t} }
+
+// expr parses a full expression, lowering the comma operator to statement
+// sequencing.
+func (p *parser) expr() expr {
+	e := p.assignExpr()
+	for p.accept(",") {
+		p.emitExprStmt(e)
+		e = p.assignExpr()
+	}
+	return e
+}
+
+var compoundOps = map[string]ir.Op{
+	"+=": ir.Plus, "-=": ir.Minus, "*=": ir.Mul, "/=": ir.Div, "%=": ir.Mod,
+	"&=": ir.And, "|=": ir.Or, "^=": ir.Xor, "<<=": ir.Lsh, ">>=": ir.Rsh,
+}
+
+func (p *parser) assignExpr() expr {
+	e := p.condExpr()
+	t := p.peek()
+	if t.kind != tPunct {
+		return e
+	}
+	if t.text == "=" {
+		p.advance()
+		rhs := p.assignExpr()
+		return p.buildAssign(e, rhs)
+	}
+	if op, ok := compoundOps[t.text]; ok {
+		p.advance()
+		rhs := p.assignExpr()
+		// a op= b is expanded to a = a op b (§6.5); the address expression
+		// is re-evaluated, so it must be side-effect free.
+		if e.lv == nil {
+			p.errf("left side of %s is not assignable", t.text)
+		}
+		read := expr{n: e.n.Clone(), t: e.t}
+		return p.buildAssign(e, p.buildBin(op, read, rhs))
+	}
+	return e
+}
+
+func (p *parser) condExpr() expr {
+	c := p.orExpr()
+	if !p.accept("?") {
+		return c
+	}
+	a := p.assignExpr()
+	p.expect(":")
+	b := p.condExpr()
+	t := arith(a.t, b.t)
+	sel := &ir.Node{Op: ir.Select, Type: t.irType(), Kids: []*ir.Node{c.n, a.n, b.n}}
+	return rval(sel, t)
+}
+
+func (p *parser) orExpr() expr {
+	e := p.andExpr()
+	for p.accept("||") {
+		r := p.andExpr()
+		e = rval(ir.Bin(ir.OrOr, ir.Long, e.n, r.n), ctype{base: ir.Long})
+	}
+	return e
+}
+
+func (p *parser) andExpr() expr {
+	e := p.bitOrExpr()
+	for p.accept("&&") {
+		r := p.bitOrExpr()
+		e = rval(ir.Bin(ir.AndAnd, ir.Long, e.n, r.n), ctype{base: ir.Long})
+	}
+	return e
+}
+
+func (p *parser) bitOrExpr() expr {
+	e := p.bitXorExpr()
+	for p.peek().kind == tPunct && p.peek().text == "|" {
+		p.advance()
+		e = p.buildBin(ir.Or, e, p.bitXorExpr())
+	}
+	return e
+}
+
+func (p *parser) bitXorExpr() expr {
+	e := p.bitAndExpr()
+	for p.peek().kind == tPunct && p.peek().text == "^" {
+		p.advance()
+		e = p.buildBin(ir.Xor, e, p.bitAndExpr())
+	}
+	return e
+}
+
+func (p *parser) bitAndExpr() expr {
+	e := p.eqExpr()
+	for p.peek().kind == tPunct && p.peek().text == "&" {
+		p.advance()
+		e = p.buildBin(ir.And, e, p.eqExpr())
+	}
+	return e
+}
+
+func (p *parser) eqExpr() expr {
+	e := p.relExpr()
+	for {
+		var op ir.Op
+		switch {
+		case p.accept("=="):
+			op = ir.Eq
+		case p.accept("!="):
+			op = ir.Ne
+		default:
+			return e
+		}
+		e = p.buildRel(op, e, p.relExpr())
+	}
+}
+
+func (p *parser) relExpr() expr {
+	e := p.shiftExpr()
+	for {
+		var op ir.Op
+		switch {
+		case p.accept("<="):
+			op = ir.Le
+		case p.accept(">="):
+			op = ir.Ge
+		case p.accept("<"):
+			op = ir.Lt
+		case p.accept(">"):
+			op = ir.Gt
+		default:
+			return e
+		}
+		e = p.buildRel(op, e, p.shiftExpr())
+	}
+}
+
+func (p *parser) shiftExpr() expr {
+	e := p.addExpr()
+	for {
+		var op ir.Op
+		switch {
+		case p.accept("<<"):
+			op = ir.Lsh
+		case p.accept(">>"):
+			op = ir.Rsh
+		default:
+			return e
+		}
+		r := p.addExpr()
+		// The shift result has the promoted type of the left operand.
+		t := arith(e.t, ctype{base: ir.Long})
+		if !e.t.irType().IsUnsigned() {
+			t = ctype{base: ir.Long}
+		}
+		if f := foldInt(op, t, e.n, r.n); f != nil {
+			e = rval(f, t)
+			continue
+		}
+		e = rval(ir.Bin(op, t.irType(), e.n, r.n), t)
+	}
+}
+
+func (p *parser) addExpr() expr {
+	e := p.mulExpr()
+	for {
+		switch {
+		case p.accept("+"):
+			e = p.buildAdd(e, p.mulExpr(), false)
+		case p.accept("-"):
+			e = p.buildAdd(e, p.mulExpr(), true)
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) mulExpr() expr {
+	e := p.unaryExpr()
+	for {
+		var op ir.Op
+		switch {
+		case p.accept("*"):
+			op = ir.Mul
+		case p.accept("/"):
+			op = ir.Div
+		case p.accept("%"):
+			op = ir.Mod
+		default:
+			return e
+		}
+		r := p.unaryExpr()
+		if op == ir.Mod && (e.t.isFloat() || r.t.isFloat()) {
+			p.errf("%% requires integer operands")
+		}
+		e = p.buildBin(op, e, r)
+	}
+}
+
+func (p *parser) unaryExpr() expr {
+	t := p.peek()
+	if t.kind == tIdent && t.text == "sizeof" {
+		p.advance()
+		return p.sizeofExpr()
+	}
+	if t.kind == tPunct {
+		switch t.text {
+		case "(":
+			// A cast if the parenthesis opens a type name.
+			if typ, isCast := p.tryCast(); isCast {
+				e := p.unaryExpr()
+				return p.buildCast(typ, e)
+			}
+		case "-":
+			p.advance()
+			e := p.unaryExpr()
+			if e.n.Op == ir.Const {
+				return rval(ir.SmallConst(-e.n.Val), e.t)
+			}
+			if e.n.Op == ir.FConst {
+				return rval(ir.NewFConst(e.n.Type, -e.n.F), e.t)
+			}
+			t := arith(e.t, ctype{base: ir.Long})
+			return rval(ir.Un(ir.Neg, t.irType(), e.n), t)
+		case "~":
+			p.advance()
+			e := p.unaryExpr()
+			if e.t.isFloat() || e.t.isPtr() {
+				p.errf("~ requires an integer operand")
+			}
+			t := arith(e.t, ctype{base: ir.Long})
+			if e.n.Op == ir.Const {
+				return rval(ir.SmallConst(^e.n.Val), t)
+			}
+			return rval(ir.Un(ir.Compl, t.irType(), e.n), t)
+		case "!":
+			p.advance()
+			e := p.unaryExpr()
+			return rval(ir.Un(ir.Not, ir.Long, e.n), ctype{base: ir.Long})
+		case "*":
+			p.advance()
+			e := p.unaryExpr()
+			if !e.t.isPtr() {
+				p.errf("cannot dereference non-pointer %v", e.t)
+			}
+			et := e.t.elem()
+			lv := ir.Un(ir.Indir, et.irType(), e.n)
+			return lvexpr(lv, et, lv.Clone())
+		case "&":
+			p.advance()
+			e := p.unaryExpr()
+			if e.lv == nil {
+				p.errf("cannot take the address of this expression")
+			}
+			switch e.lv.Op {
+			case ir.Name:
+				return rval(e.lv, ctype{base: e.t.base, ptr: e.t.ptr + 1})
+			case ir.Indir:
+				return rval(e.lv.Kids[0], ctype{base: e.t.base, ptr: e.t.ptr + 1})
+			}
+			p.errf("cannot take the address of a register variable")
+		case "++", "--":
+			p.advance()
+			op := ir.PreInc
+			if t.text == "--" {
+				op = ir.PreDec
+			}
+			e := p.unaryExpr()
+			return p.buildIncDec(op, e)
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) sizeofExpr() expr {
+	if p.accept("(") {
+		if typ, ok := p.typeSpec(); ok {
+			for p.accept("*") {
+				typ.ptr++
+			}
+			p.expect(")")
+			return rval(ir.SmallConst(int64(typ.size())), ctype{base: ir.Long})
+		}
+		e := p.expr()
+		p.expect(")")
+		return rval(ir.SmallConst(int64(e.t.size())), ctype{base: ir.Long})
+	}
+	e := p.unaryExpr()
+	return rval(ir.SmallConst(int64(e.t.size())), ctype{base: ir.Long})
+}
+
+// tryCast checks for '(' typename ')' and consumes it if present.
+func (p *parser) tryCast() (ctype, bool) {
+	save := p.pos
+	if !p.accept("(") {
+		return ctype{}, false
+	}
+	typ, ok := p.typeSpec()
+	if !ok {
+		p.pos = save
+		return ctype{}, false
+	}
+	for p.accept("*") {
+		typ.ptr++
+	}
+	if !p.accept(")") {
+		p.pos = save
+		return ctype{}, false
+	}
+	return typ, true
+}
+
+func (p *parser) buildCast(t ctype, e expr) expr {
+	return rval(p.convertValue(e, t), t)
+}
+
+func (p *parser) postfixExpr() expr {
+	e := p.primary()
+	for {
+		t := p.peek()
+		if t.kind != tPunct {
+			return e
+		}
+		switch t.text {
+		case "[":
+			p.advance()
+			idx := p.expr()
+			p.expect("]")
+			e = p.buildIndex(e, idx)
+		case "++", "--":
+			p.advance()
+			op := ir.PostInc
+			if t.text == "--" {
+				op = ir.PostDec
+			}
+			e = p.buildIncDec(op, e)
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) primary() expr {
+	t := p.peek()
+	switch t.kind {
+	case tInt:
+		p.advance()
+		if t.text == "u" {
+			return rval(ir.NewConst(ir.ULong, t.ival), ctype{base: ir.ULong})
+		}
+		return rval(ir.SmallConst(t.ival), ctype{base: ir.Long})
+	case tFloat:
+		p.advance()
+		if t.text == "f" {
+			return rval(ir.NewFConst(ir.Float, t.fval), ctype{base: ir.Float})
+		}
+		return rval(ir.NewFConst(ir.Double, t.fval), ctype{base: ir.Double})
+	case tIdent:
+		p.advance()
+		if p.peek().kind == tPunct && p.peek().text == "(" {
+			return p.callExpr(t.text)
+		}
+		s := p.lookup(t.text)
+		if s == nil {
+			p.errf("undeclared identifier %q", t.text)
+		}
+		return p.symbolExpr(s)
+	case tPunct:
+		if t.text == "(" {
+			p.advance()
+			e := p.expr()
+			p.expect(")")
+			return e
+		}
+	}
+	p.errf("unexpected %q in expression", t.String())
+	panic("unreachable")
+}
+
+// symbolExpr builds the reference expression for a declared symbol.
+func (p *parser) symbolExpr(s *symbol) expr {
+	it := s.t.irType()
+	switch s.kind {
+	case symGlobal:
+		if s.isArray() {
+			// Arrays decay to a pointer to their first element; the Name
+			// leaf is typed by the element type (cf. the appendix).
+			return rval(ir.NewName(it, s.name), ctype{base: s.t.base, ptr: s.t.ptr + 1})
+		}
+		lv := ir.NewName(it, s.name)
+		return lvexpr(lv, s.t, ir.Un(ir.Indir, it, lv.Clone()))
+	case symLocal:
+		if s.isArray() {
+			return rval(ir.FrameAddr(s.offset), ctype{base: s.t.base, ptr: s.t.ptr + 1})
+		}
+		lv := ir.FrameRef(it, s.offset)
+		return lvexpr(lv, s.t, lv.Clone())
+	case symParam:
+		lv := ir.Un(ir.Indir, it,
+			ir.Bin(ir.Plus, ir.Long, ir.SmallConst(int64(s.offset)), ir.NewDreg(ir.Long, ir.RegAP)))
+		return lvexpr(lv, s.t, lv.Clone())
+	case symRegVar:
+		lv := ir.NewDreg(it, s.reg)
+		return lvexpr(lv, s.t, lv.Clone())
+	}
+	p.errf("%q is a function, not a value", s.name)
+	panic("unreachable")
+}
+
+// callExpr parses f(args...). Undeclared functions default to int, as in
+// traditional C.
+func (p *parser) callExpr(name string) expr {
+	s := p.globals[name]
+	if s == nil {
+		s = &symbol{name: name, kind: symFunc, result: ctype{base: ir.Long}}
+		p.globals[name] = s
+	}
+	if s.kind != symFunc {
+		p.errf("%q is not a function", name)
+	}
+	p.expect("(")
+	var args []*ir.Node
+	words := 0
+	i := 0
+	if !p.accept(")") {
+		for {
+			a := p.assignExpr()
+			if s.defined && i < len(s.params) {
+				a = rval(p.convertArg(a, s.params[i]), s.params[i])
+			} else if a.t.base == ir.Float && a.t.ptr == 0 {
+				// Default promotion: float arguments travel as double.
+				a = rval(ir.Un(ir.Conv, ir.Double, a.n), ctype{base: ir.Double})
+			}
+			if a.t.base == ir.Double && a.t.ptr == 0 {
+				words += 2
+			} else {
+				words++
+			}
+			args = append(args, a.n)
+			i++
+			if !p.accept(",") {
+				p.expect(")")
+				break
+			}
+		}
+	}
+	if s.defined && len(s.params) != len(args) {
+		p.errf("%q expects %d arguments, got %d", name, len(s.params), len(args))
+	}
+	rt := s.result
+	var nodeT ir.Type
+	switch {
+	case rt.isPtr():
+		nodeT = ir.ULong
+	case rt.base.IsFloat():
+		nodeT = rt.base
+	case rt.base == ir.Void:
+		nodeT = ir.Void
+	default:
+		// Integer results come back widened in r0.
+		nodeT = rt.base
+		if nodeT.IsUnsigned() {
+			nodeT = ir.ULong
+		} else {
+			nodeT = ir.Long
+		}
+		rt = ctype{base: nodeT}
+	}
+	call := &ir.Node{Op: ir.Call, Type: nodeT, Sym: name, Val: int64(words), Kids: args}
+	return rval(call, rt)
+}
+
+// convertArg applies the conversions for passing a to a parameter of type
+// t: floats travel as doubles, integers as longs (widening is syntactic).
+func (p *parser) convertArg(a expr, t ctype) *ir.Node {
+	if t.base == ir.Double && t.ptr == 0 {
+		return p.convertValue(a, ctype{base: ir.Double})
+	}
+	if t.ptr == 0 && t.base.IsInteger() && a.t.isFloat() {
+		return p.convertValue(a, ctype{base: ir.Long})
+	}
+	return a.n
+}
+
+// buildIndex builds a[i] for an array or pointer a. The address tree takes
+// the canonical form base + (scale * index) with the scale constant on the
+// left, so that scales of 1, 2, 4 and 8 linearize to the special terminals
+// the indexed addressing mode patterns need (§6.3).
+func (p *parser) buildIndex(a, idx expr) expr {
+	if !a.t.isPtr() {
+		p.errf("indexed expression is not an array or pointer")
+	}
+	if idx.t.isFloat() {
+		p.errf("array index must be an integer")
+	}
+	et := a.t.elem()
+	addr := ir.Bin(ir.Plus, ir.Long, a.n, p.scaleIndex(idx.n, et.size()))
+	if idx.n.Op == ir.Const {
+		// Constant index: fold into a displacement.
+		addr = ir.Bin(ir.Plus, ir.Long, ir.SmallConst(idx.n.Val*int64(et.size())), a.n)
+		if a.n.Op == ir.Const {
+			addr = ir.SmallConst(idx.n.Val*int64(et.size()) + a.n.Val)
+		}
+	}
+	lv := ir.Un(ir.Indir, et.irType(), addr)
+	return lvexpr(lv, et, lv.Clone())
+}
+
+// scaleIndex multiplies an index by an element size, keeping the constant
+// as the left child of the Mul.
+func (p *parser) scaleIndex(idx *ir.Node, size int) *ir.Node {
+	if size == 1 {
+		return idx
+	}
+	if idx.Op == ir.Const {
+		return ir.SmallConst(idx.Val * int64(size))
+	}
+	return ir.Bin(ir.Mul, ir.Long, ir.SmallConst(int64(size)), idx)
+}
+
+func (p *parser) buildIncDec(op ir.Op, e expr) expr {
+	if e.lv == nil {
+		p.errf("operand of ++/-- is not assignable")
+	}
+	amount := int64(1)
+	if e.t.isPtr() {
+		amount = int64(e.t.elem().size())
+	}
+	if e.t.isFloat() {
+		p.errf("++/-- on floating operands is not supported")
+	}
+	n := ir.Bin(op, e.t.irType(), e.lv, ir.SmallConst(amount))
+	return rval(n, e.t)
+}
+
+// buildAdd handles + and -, including pointer arithmetic.
+func (p *parser) buildAdd(a, b expr, sub bool) expr {
+	op := ir.Plus
+	if sub {
+		op = ir.Minus
+	}
+	switch {
+	case a.t.isPtr() && b.t.isPtr():
+		if !sub {
+			p.errf("cannot add two pointers")
+		}
+		diff := ir.Bin(ir.Minus, ir.Long, a.n, b.n)
+		size := int64(a.t.elem().size())
+		if size == 1 {
+			return rval(diff, ctype{base: ir.Long})
+		}
+		return rval(ir.Bin(ir.Div, ir.Long, diff, ir.SmallConst(size)), ctype{base: ir.Long})
+	case a.t.isPtr():
+		if b.t.isFloat() {
+			p.errf("invalid pointer arithmetic")
+		}
+		return rval(ir.Bin(op, ir.Long, a.n, p.scaleIndex(b.n, a.t.elem().size())), a.t)
+	case b.t.isPtr():
+		if sub {
+			p.errf("cannot subtract a pointer from an integer")
+		}
+		return rval(ir.Bin(op, ir.Long, b.n, p.scaleIndex(a.n, b.t.elem().size())), b.t)
+	}
+	return p.buildBin(op, a, b)
+}
+
+// buildBin builds an arithmetic or bitwise binary node with the usual
+// conversions, folding constants (the front ends are assumed to have done
+// constant folding, §5.1.2).
+func (p *parser) buildBin(op ir.Op, a, b expr) expr {
+	t := arith(a.t, b.t)
+	if t.isFloat() && (op == ir.And || op == ir.Or || op == ir.Xor || op == ir.Lsh || op == ir.Rsh || op == ir.Mod) {
+		p.errf("%v requires integer operands", op)
+	}
+	if f := foldInt(op, t, a.n, b.n); f != nil {
+		return rval(f, t)
+	}
+	return rval(ir.Bin(op, t.irType(), a.n, b.n), t)
+}
+
+// buildRel builds a relational value expression; its type records the
+// comparison type.
+func (p *parser) buildRel(op ir.Op, a, b expr) expr {
+	ct := arith(a.t, b.t)
+	if a.t.isPtr() || b.t.isPtr() {
+		ct = ctype{base: ir.ULong}
+	}
+	return rval(ir.Bin(op, ct.irType(), a.n, b.n), ctype{base: ir.Long})
+}
+
+func (p *parser) buildAssign(lhs, rhs expr) expr {
+	if lhs.lv == nil {
+		p.errf("left side of assignment is not assignable")
+	}
+	t := lhs.t
+	n := p.convertForStore(rhs, t)
+	asg := ir.Bin(ir.Assign, t.irType(), lhs.lv, n)
+	return rval(asg, t)
+}
+
+// convertForStore converts a value for storing into a location of type t.
+// Integer width changes in both directions are syntactic (widening by the
+// conversion chain productions, narrowing by the typed move instructions),
+// as is int-to-float; float-to-int and double-to-float need explicit
+// conversion operators.
+func (p *parser) convertForStore(e expr, t ctype) *ir.Node {
+	if t.isFloat() {
+		if t.base == ir.Float && e.t.base == ir.Double && !e.t.isPtr() {
+			return ir.Un(ir.Conv, ir.Float, e.n)
+		}
+		return e.n
+	}
+	if e.t.isFloat() {
+		return ir.Un(ir.Conv, t.irType(), e.n)
+	}
+	return e.n
+}
+
+// convertValue converts for value contexts (casts, returns, promoted
+// arguments): everything the grammar cannot widen syntactically becomes an
+// explicit conversion operator.
+func (p *parser) convertValue(e expr, t ctype) *ir.Node {
+	src, dst := e.t, t
+	if src.irType() == dst.irType() {
+		return e.n
+	}
+	if dst.isPtr() || src.isPtr() {
+		return e.n // pointer casts are free
+	}
+	sb, db := src.base, dst.base
+	switch {
+	case db.IsFloat() && sb.IsFloat():
+		if db == ir.Float && sb == ir.Double {
+			return ir.Un(ir.Conv, ir.Float, e.n)
+		}
+		return e.n // float widening is a chain production
+	case db.IsFloat():
+		return e.n // int to float is a chain production
+	case sb.IsFloat():
+		return ir.Un(ir.Conv, db, e.n)
+	default:
+		if db.Size() < sb.Size() || db.Size() == sb.Size() && db.IsUnsigned() != sb.IsUnsigned() {
+			if e.n.Op == ir.Const {
+				return ir.NewConst(db, extendConst(e.n.Val, db))
+			}
+			return ir.Un(ir.Conv, db, e.n)
+		}
+		return e.n // integer widening is a chain production
+	}
+}
+
+func extendConst(v int64, t ir.Type) int64 {
+	switch t.Size() {
+	case 1:
+		if t.IsUnsigned() {
+			return int64(uint8(v))
+		}
+		return int64(int8(v))
+	case 2:
+		if t.IsUnsigned() {
+			return int64(uint16(v))
+		}
+		return int64(int16(v))
+	default:
+		if t.IsUnsigned() {
+			return int64(uint32(v))
+		}
+		return int64(int32(v))
+	}
+}
+
+// foldInt folds integer binary operations over constants.
+func foldInt(op ir.Op, t ctype, a, b *ir.Node) *ir.Node {
+	if a.Op != ir.Const || b.Op != ir.Const || t.isFloat() || t.isPtr() {
+		return nil
+	}
+	x, y := a.Val, b.Val
+	var v int64
+	switch op {
+	case ir.Plus:
+		v = x + y
+	case ir.Minus:
+		v = x - y
+	case ir.Mul:
+		v = x * y
+	case ir.And:
+		v = x & y
+	case ir.Or:
+		v = x | y
+	case ir.Xor:
+		v = x ^ y
+	case ir.Lsh:
+		if y < 0 || y >= 32 {
+			return nil
+		}
+		v = x << uint(y)
+	default:
+		return nil
+	}
+	if t.base.IsUnsigned() {
+		return ir.NewConst(ir.ULong, int64(uint32(v)))
+	}
+	return ir.SmallConst(extendConst(v, ir.Long))
+}

@@ -1,0 +1,259 @@
+// Package cfront is a front end for a small dialect of C that produces the
+// intermediate representation the code generators consume. It stands in for
+// the first pass of the Portable C Compiler (§2 of the paper): it performs
+// parsing, type checking and lowering to typed expression trees, but —
+// following the PCC convention the paper depends on — it rarely generates
+// conversion operators, leaving widening conversions for the machine
+// description grammar to insert syntactically (§6.4).
+//
+// Supported language: char/short/int/long with unsigned variants, float and
+// double, pointers, one-dimensional arrays, register variables, functions,
+// the full C expression grammar (including compound assignment, ++/--, ?:,
+// short-circuit operators and casts), and if/while/do/for/break/continue/
+// return statements. Structures and bit fields — the paper's "rough edges"
+// (§6.5) — are out of scope.
+package cfront
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tPunct // operators and punctuation, in text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of file"
+	case tInt:
+		return fmt.Sprintf("%d", t.ival)
+	case tFloat:
+		return fmt.Sprintf("%g", t.fval)
+	}
+	return t.text
+}
+
+// multi-character operators, longest first.
+var punctuators = []string{
+	"<<=", ">>=",
+	"++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole source up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tEOF, line: l.line})
+			return l.toks, nil
+		}
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += nl
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func (l *lexer) next() error {
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		l.toks = append(l.toks, token{kind: tIdent, text: l.src[start:l.pos], line: l.line})
+		return nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		return l.number()
+	case c == '\'':
+		return l.charLit()
+	}
+	for _, p := range punctuators {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.toks = append(l.toks, token{kind: tPunct, text: p, line: l.line})
+			l.pos += len(p)
+			return nil
+		}
+	}
+	return fmt.Errorf("cfront: line %d: unexpected character %q", l.line, c)
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	isFloat := false
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	} else {
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c >= '0' && c <= '9' {
+				l.pos++
+				continue
+			}
+			if c == '.' || c == 'e' || c == 'E' {
+				isFloat = true
+				l.pos++
+				if c != '.' && l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+	}
+	text := l.src[start:l.pos]
+	// Suffixes: u/U (unsigned), f/F (float), l/L (ignored).
+	unsigned, float32Suffix := false, false
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case 'u', 'U':
+			unsigned = true
+			l.pos++
+			continue
+		case 'f', 'F':
+			float32Suffix = true
+			l.pos++
+			continue
+		case 'l', 'L':
+			l.pos++
+			continue
+		}
+		break
+	}
+	if isFloat || float32Suffix && strings.ContainsAny(text, ".eE") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("cfront: line %d: bad number %q", l.line, text)
+		}
+		t := token{kind: tFloat, fval: f, line: l.line}
+		if float32Suffix {
+			t.text = "f"
+		}
+		l.toks = append(l.toks, t)
+		return nil
+	}
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		uv, uerr := strconv.ParseUint(text, 0, 64)
+		if uerr != nil {
+			return fmt.Errorf("cfront: line %d: bad number %q", l.line, text)
+		}
+		v = int64(uv)
+	}
+	t := token{kind: tInt, ival: v, line: l.line}
+	if unsigned {
+		t.text = "u"
+	}
+	l.toks = append(l.toks, t)
+	return nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (l *lexer) charLit() error {
+	l.pos++ // opening quote
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("cfront: line %d: unterminated character literal", l.line)
+	}
+	var v int64
+	c := l.src[l.pos]
+	if c == '\\' {
+		l.pos++
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("cfront: line %d: unterminated escape", l.line)
+		}
+		switch l.src[l.pos] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return fmt.Errorf("cfront: line %d: unknown escape \\%c", l.line, l.src[l.pos])
+		}
+		l.pos++
+	} else {
+		v = int64(c)
+		l.pos++
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		return fmt.Errorf("cfront: line %d: unterminated character literal", l.line)
+	}
+	l.pos++
+	l.toks = append(l.toks, token{kind: tInt, ival: v, line: l.line})
+	return nil
+}

@@ -1,0 +1,695 @@
+package cfront
+
+import (
+	"ggcg/internal/ir"
+)
+
+// Compile parses a source file and returns the compilation unit: the forest
+// of typed expression trees interspersed with labels that the code
+// generators consume.
+func Compile(src string) (u *ir.Unit, err error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:    toks,
+		unit:    &ir.Unit{},
+		globals: make(map[string]*symbol),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(perr)
+			if !ok {
+				panic(r)
+			}
+			u, err = nil, pe.err
+		}
+	}()
+	p.parseUnit()
+	return p.unit, nil
+}
+
+// MustCompile is Compile for known-good sources in tests and examples.
+func MustCompile(src string) *ir.Unit {
+	u, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	unit    *ir.Unit
+	globals map[string]*symbol
+
+	// Per-function state.
+	fn       *ir.Func
+	scopes   []map[string]*symbol
+	frameOff int
+	nextReg  int
+	breakLs  []int
+	contLs   []int
+	switches []*switchCtx
+	curFunc  *symbol
+}
+
+// switchCtx collects the case labels of an open switch statement; the
+// dispatch comparisons are emitted after the body.
+type switchCtx struct {
+	tempOff  int // frame slot holding the switch value
+	cases    []switchCase
+	defaultL int // 0 until a default label is seen
+	endL     int
+}
+
+type switchCase struct {
+	value int64
+	label int
+}
+
+func (p *parser) peek() token  { return p.toks[p.pos] }
+func (p *parser) peek2() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peek().kind == tPunct && p.peek().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) {
+	if !p.accept(text) {
+		p.errf("expected %q, found %q", text, p.peek().String())
+	}
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.peek().kind == tIdent && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// typeSpec parses a type specifier if one is present.
+func (p *parser) typeSpec() (ctype, bool) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return ctype{}, false
+	}
+	unsigned := false
+	save := p.pos
+	if t.text == "unsigned" {
+		unsigned = true
+		p.pos++
+		t = p.peek()
+		if t.kind != tIdent {
+			// Bare "unsigned" means unsigned int.
+			return ctype{base: ir.ULong}, true
+		}
+	}
+	var base ir.Type
+	switch t.text {
+	case "char":
+		base = ir.Byte
+	case "short":
+		base = ir.Word
+	case "int", "long":
+		base = ir.Long
+	case "float":
+		base = ir.Float
+	case "double":
+		base = ir.Double
+	case "void":
+		base = ir.Void
+	default:
+		if unsigned {
+			return ctype{base: ir.ULong}, true
+		}
+		p.pos = save
+		return ctype{}, false
+	}
+	p.pos++
+	if t.text == "long" && p.acceptKw("int") {
+		// "long int"
+	}
+	if unsigned {
+		switch base {
+		case ir.Byte:
+			base = ir.UByte
+		case ir.Word:
+			base = ir.UWord
+		case ir.Long:
+			base = ir.ULong
+		default:
+			p.errf("cannot apply unsigned to %v", base)
+		}
+	}
+	return ctype{base: base}, true
+}
+
+// declarator parses '*'* ident ('[' n ']')?.
+func (p *parser) declarator(base ctype) (name string, t ctype, array int) {
+	t = base
+	for p.accept("*") {
+		t.ptr++
+	}
+	id := p.advance()
+	if id.kind != tIdent {
+		p.errf("expected identifier, found %q", id.String())
+	}
+	if p.accept("[") {
+		n := p.advance()
+		if n.kind != tInt || n.ival <= 0 {
+			p.errf("array size must be a positive integer constant")
+		}
+		array = int(n.ival)
+		p.expect("]")
+	}
+	return id.text, t, array
+}
+
+func (p *parser) parseUnit() {
+	for p.peek().kind != tEOF {
+		p.topDecl()
+	}
+}
+
+func (p *parser) topDecl() {
+	base, ok := p.typeSpec()
+	if !ok {
+		p.errf("expected declaration, found %q", p.peek().String())
+	}
+	// Function or variable?
+	name, t, array := p.declarator(base)
+	if p.peek().kind == tPunct && p.peek().text == "(" {
+		p.function(name, t)
+		return
+	}
+	p.globalVar(name, t, array)
+	for p.accept(",") {
+		n2, t2, a2 := p.declarator(base)
+		p.globalVar(n2, t2, a2)
+	}
+	p.expect(";")
+}
+
+func (p *parser) globalVar(name string, t ctype, array int) {
+	if t.base == ir.Void && t.ptr == 0 {
+		p.errf("void variable %q", name)
+	}
+	if _, dup := p.globals[name]; dup {
+		p.errf("redeclaration of %q", name)
+	}
+	size := t.size()
+	if array > 0 {
+		size *= array
+	}
+	g := ir.Global{Name: name, Type: t.irType(), Size: size}
+	if p.accept("=") {
+		if array > 0 {
+			p.errf("array initializers are not supported")
+		}
+		tok := p.advance()
+		neg := false
+		if tok.kind == tPunct && tok.text == "-" {
+			neg = true
+			tok = p.advance()
+		}
+		switch tok.kind {
+		case tInt:
+			v := tok.ival
+			if neg {
+				v = -v
+			}
+			g.Init = v
+			g.HasInit = true
+		case tFloat:
+			v := tok.fval
+			if neg {
+				v = -v
+			}
+			g.FInit = v
+			g.HasInit = true
+		default:
+			p.errf("global initializer must be a constant")
+		}
+	}
+	p.unit.Globals = append(p.unit.Globals, g)
+	p.globals[name] = &symbol{name: name, kind: symGlobal, t: t, array: array}
+}
+
+func (p *parser) function(name string, result ctype) {
+	sym := p.globals[name]
+	if sym == nil {
+		sym = &symbol{name: name, kind: symFunc, result: result}
+		p.globals[name] = sym
+	} else if sym.kind != symFunc {
+		p.errf("redeclaration of %q", name)
+	}
+	p.expect("(")
+	var params []struct {
+		name string
+		t    ctype
+	}
+	var ptypes []ctype
+	if !p.accept(")") {
+		if p.acceptKw("void") {
+			p.expect(")")
+		} else {
+			for {
+				base, ok := p.typeSpec()
+				if !ok {
+					p.errf("expected parameter type")
+				}
+				pname, pt, arr := p.declarator(base)
+				if arr > 0 {
+					pt.ptr++ // array parameters decay
+				}
+				if pt.base == ir.Float && pt.ptr == 0 {
+					p.errf("float parameters are received as double (K&R rules); declare parameter %q double", pname)
+				}
+				params = append(params, struct {
+					name string
+					t    ctype
+				}{pname, pt})
+				ptypes = append(ptypes, pt)
+				if !p.accept(",") {
+					p.expect(")")
+					break
+				}
+			}
+		}
+	}
+	if p.accept(";") {
+		// Prototype only.
+		sym.result, sym.params = result, ptypes
+		return
+	}
+	if sym.defined {
+		p.errf("redefinition of %q", name)
+	}
+	sym.result, sym.params, sym.defined = result, ptypes, true
+
+	p.fn = &ir.Func{Name: name}
+	p.curFunc = sym
+	p.scopes = []map[string]*symbol{make(map[string]*symbol)}
+	p.frameOff = 0
+	p.nextReg = 6
+	off := 4
+	for _, prm := range params {
+		s := &symbol{name: prm.name, kind: symParam, t: prm.t, offset: off}
+		if prm.t.base == ir.Double && prm.t.ptr == 0 {
+			off += 8
+		} else {
+			off += 4
+		}
+		p.declare(s)
+	}
+	p.expect("{")
+	p.block()
+	// An implicit return for functions that run off the end.
+	if n := len(p.fn.Items); n == 0 || p.fn.Items[n-1].Kind != ir.ItemTree ||
+		p.fn.Items[n-1].Tree.Op != ir.Ret {
+		p.fn.Emit(&ir.Node{Op: ir.Ret, Type: ir.Void})
+	}
+	p.fn.FrameSize = -p.frameOff
+	p.unit.Funcs = append(p.unit.Funcs, p.fn)
+	p.fn, p.curFunc, p.scopes = nil, nil, nil
+}
+
+func (p *parser) declare(s *symbol) {
+	scope := p.scopes[len(p.scopes)-1]
+	if _, dup := scope[s.name]; dup {
+		p.errf("redeclaration of %q", s.name)
+	}
+	scope[s.name] = s
+}
+
+func (p *parser) lookup(name string) *symbol {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if s, ok := p.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if s, ok := p.globals[name]; ok {
+		return s
+	}
+	return nil
+}
+
+// block parses { ... } with its own scope; the opening brace has been
+// consumed.
+func (p *parser) block() {
+	p.scopes = append(p.scopes, make(map[string]*symbol))
+	for !p.accept("}") {
+		if p.peek().kind == tEOF {
+			p.errf("unexpected end of file in block")
+		}
+		p.statement()
+	}
+	p.scopes = p.scopes[:len(p.scopes)-1]
+}
+
+func (p *parser) statement() {
+	// Local declarations.
+	isReg := p.acceptKw("register")
+	if base, ok := p.typeSpec(); ok {
+		for {
+			p.localDecl(base, isReg)
+			if !p.accept(",") {
+				break
+			}
+		}
+		p.expect(";")
+		return
+	}
+	if isReg {
+		p.errf("register must be followed by a type")
+	}
+	switch {
+	case p.accept(";"):
+	case p.accept("{"):
+		p.block()
+	case p.acceptKw("if"):
+		p.ifStmt()
+	case p.acceptKw("while"):
+		p.whileStmt()
+	case p.acceptKw("do"):
+		p.doStmt()
+	case p.acceptKw("for"):
+		p.forStmt()
+	case p.acceptKw("switch"):
+		p.switchStmt()
+	case p.acceptKw("case"):
+		p.caseLabel()
+	case p.acceptKw("default"):
+		p.defaultLabel()
+	case p.acceptKw("return"):
+		p.returnStmt()
+	case p.acceptKw("break"):
+		if len(p.breakLs) == 0 {
+			p.errf("break outside loop")
+		}
+		p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(p.breakLs[len(p.breakLs)-1])))
+		p.expect(";")
+	case p.acceptKw("continue"):
+		if len(p.contLs) == 0 {
+			p.errf("continue outside loop")
+		}
+		p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(p.contLs[len(p.contLs)-1])))
+		p.expect(";")
+	default:
+		e := p.expr()
+		p.expect(";")
+		p.emitExprStmt(e)
+	}
+}
+
+func (p *parser) localDecl(base ctype, isReg bool) {
+	name, t, array := p.declarator(base)
+	if t.base == ir.Void && t.ptr == 0 {
+		p.errf("void variable %q", name)
+	}
+	var s *symbol
+	if isReg {
+		if array > 0 || t.isFloat() {
+			p.errf("register variable %q must be an integer or pointer scalar", name)
+		}
+		if p.nextReg > 11 {
+			p.errf("out of register variables for %q", name)
+		}
+		s = &symbol{name: name, kind: symRegVar, t: t, reg: p.nextReg}
+		p.nextReg++
+	} else {
+		size := t.size()
+		if array > 0 {
+			size *= array
+		}
+		p.frameOff -= size
+		if align := t.size(); align > 1 {
+			if r := (-p.frameOff) % align; r != 0 {
+				p.frameOff -= align - r
+			}
+		}
+		s = &symbol{name: name, kind: symLocal, t: t, offset: p.frameOff, array: array}
+	}
+	p.declare(s)
+	if p.accept("=") {
+		if array > 0 {
+			p.errf("array initializers are not supported")
+		}
+		val := p.assignExpr()
+		lv := p.symbolExpr(s)
+		p.emitExprStmt(p.buildAssign(lv, val))
+	}
+}
+
+func (p *parser) ifStmt() {
+	p.expect("(")
+	cond := p.expr()
+	p.expect(")")
+	elseL := p.fn.NewLabel()
+	p.branchIfFalse(cond, elseL)
+	p.statement()
+	if p.acceptKw("else") {
+		endL := p.fn.NewLabel()
+		p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(endL)))
+		p.fn.EmitLabel(elseL)
+		p.statement()
+		p.fn.EmitLabel(endL)
+	} else {
+		p.fn.EmitLabel(elseL)
+	}
+}
+
+func (p *parser) whileStmt() {
+	top := p.fn.NewLabel()
+	end := p.fn.NewLabel()
+	p.fn.EmitLabel(top)
+	p.expect("(")
+	cond := p.expr()
+	p.expect(")")
+	p.branchIfFalse(cond, end)
+	p.breakLs = append(p.breakLs, end)
+	p.contLs = append(p.contLs, top)
+	p.statement()
+	p.breakLs = p.breakLs[:len(p.breakLs)-1]
+	p.contLs = p.contLs[:len(p.contLs)-1]
+	p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(top)))
+	p.fn.EmitLabel(end)
+}
+
+func (p *parser) doStmt() {
+	top := p.fn.NewLabel()
+	end := p.fn.NewLabel()
+	cont := p.fn.NewLabel()
+	p.fn.EmitLabel(top)
+	p.breakLs = append(p.breakLs, end)
+	p.contLs = append(p.contLs, cont)
+	p.statement()
+	p.breakLs = p.breakLs[:len(p.breakLs)-1]
+	p.contLs = p.contLs[:len(p.contLs)-1]
+	p.fn.EmitLabel(cont)
+	if !p.acceptKw("while") {
+		p.errf("expected while after do body")
+	}
+	p.expect("(")
+	cond := p.expr()
+	p.expect(")")
+	p.expect(";")
+	p.branchIfTrue(cond, top)
+	p.fn.EmitLabel(end)
+}
+
+func (p *parser) forStmt() {
+	p.expect("(")
+	if !p.accept(";") {
+		p.emitExprStmt(p.expr())
+		p.expect(";")
+	}
+	top := p.fn.NewLabel()
+	end := p.fn.NewLabel()
+	cont := p.fn.NewLabel()
+	p.fn.EmitLabel(top)
+	if !p.accept(";") {
+		cond := p.expr()
+		p.expect(";")
+		p.branchIfFalse(cond, end)
+	}
+	var post *expr
+	if !p.accept(")") {
+		e := p.expr()
+		post = &e
+		p.expect(")")
+	}
+	p.breakLs = append(p.breakLs, end)
+	p.contLs = append(p.contLs, cont)
+	p.statement()
+	p.breakLs = p.breakLs[:len(p.breakLs)-1]
+	p.contLs = p.contLs[:len(p.contLs)-1]
+	p.fn.EmitLabel(cont)
+	if post != nil {
+		p.emitExprStmt(*post)
+	}
+	p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(top)))
+	p.fn.EmitLabel(end)
+}
+
+// switchStmt lowers a switch the way PCC did: the controlling value is
+// saved, control jumps to a dispatch block emitted after the body, and the
+// dispatch compares against each recorded case label in turn.
+func (p *parser) switchStmt() {
+	p.expect("(")
+	e := p.expr()
+	p.expect(")")
+	if e.t.isFloat() {
+		p.errf("switch requires an integer expression")
+	}
+	sw := &switchCtx{
+		tempOff: p.allocSwitchTemp(),
+		endL:    p.fn.NewLabel(),
+	}
+	lv := expr{lv: ir.FrameRef(ir.Long, sw.tempOff), t: ctype{base: ir.Long}}
+	p.emitExprStmt(p.buildAssign(lv, e))
+	dispatchL := p.fn.NewLabel()
+	p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(dispatchL)))
+
+	p.switches = append(p.switches, sw)
+	p.breakLs = append(p.breakLs, sw.endL)
+	p.statement()
+	p.breakLs = p.breakLs[:len(p.breakLs)-1]
+	p.switches = p.switches[:len(p.switches)-1]
+
+	// Falling off the body leaves the switch.
+	p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(sw.endL)))
+	p.fn.EmitLabel(dispatchL)
+	read := func() *ir.Node { return ir.FrameRef(ir.Long, sw.tempOff) }
+	for _, c := range sw.cases {
+		cond := ir.Bin(ir.Eq, ir.Long, read(), ir.SmallConst(c.value))
+		p.fn.Emit(&ir.Node{Op: ir.CBranch, Kids: []*ir.Node{cond, ir.NewLab(c.label)}})
+	}
+	if sw.defaultL != 0 {
+		p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(sw.defaultL)))
+	}
+	p.fn.EmitLabel(sw.endL)
+}
+
+// allocSwitchTemp reserves a frame slot for a switch value.
+func (p *parser) allocSwitchTemp() int {
+	p.frameOff -= 4
+	if r := (-p.frameOff) % 4; r != 0 {
+		p.frameOff -= 4 - r
+	}
+	return p.frameOff
+}
+
+func (p *parser) currentSwitch() *switchCtx {
+	if len(p.switches) == 0 {
+		p.errf("case label outside switch")
+	}
+	return p.switches[len(p.switches)-1]
+}
+
+func (p *parser) caseLabel() {
+	sw := p.currentSwitch()
+	tok := p.advance()
+	neg := false
+	if tok.kind == tPunct && tok.text == "-" {
+		neg = true
+		tok = p.advance()
+	}
+	if tok.kind != tInt {
+		p.errf("case label must be an integer constant")
+	}
+	v := tok.ival
+	if neg {
+		v = -v
+	}
+	p.expect(":")
+	for _, c := range sw.cases {
+		if c.value == v {
+			p.errf("duplicate case %d", v)
+		}
+	}
+	l := p.fn.NewLabel()
+	sw.cases = append(sw.cases, switchCase{value: v, label: l})
+	p.fn.EmitLabel(l)
+	p.statement()
+}
+
+func (p *parser) defaultLabel() {
+	sw := p.currentSwitch()
+	p.expect(":")
+	if sw.defaultL != 0 {
+		p.errf("duplicate default label")
+	}
+	sw.defaultL = p.fn.NewLabel()
+	p.fn.EmitLabel(sw.defaultL)
+	p.statement()
+}
+
+func (p *parser) returnStmt() {
+	if p.accept(";") {
+		p.fn.Emit(&ir.Node{Op: ir.Ret, Type: ir.Void})
+		return
+	}
+	e := p.expr()
+	p.expect(";")
+	rt := p.curFunc.result
+	if rt.base == ir.Void && rt.ptr == 0 {
+		p.errf("value returned from void function")
+	}
+	n := p.convertValue(e, rt)
+	// Integer results come back widened in r0, so the Ret is long-typed
+	// and the grammar's conversion chains do the widening.
+	retT := rt.irType()
+	if retT.IsInteger() {
+		if retT.IsUnsigned() {
+			retT = ir.ULong
+		} else {
+			retT = ir.Long
+		}
+	}
+	p.fn.Emit(&ir.Node{Op: ir.Ret, Type: retT, Kids: []*ir.Node{n}})
+}
+
+// branchIfTrue emits a conditional branch taken when the expression is
+// non-zero. Boolean structure (&&, ||, !) is left in the tree for the code
+// generator's explicit-control-flow phase to rewrite (§5.1.1).
+func (p *parser) branchIfTrue(cond expr, label int) {
+	p.fn.Emit(&ir.Node{Op: ir.CBranch, Kids: []*ir.Node{p.boolNode(cond), ir.NewLab(label)}})
+}
+
+func (p *parser) branchIfFalse(cond expr, label int) {
+	n := &ir.Node{Op: ir.Not, Type: ir.Long, Kids: []*ir.Node{p.boolNode(cond)}}
+	p.fn.Emit(&ir.Node{Op: ir.CBranch, Kids: []*ir.Node{n, ir.NewLab(label)}})
+}
+
+// boolNode returns the tree used as a truth value.
+func (p *parser) boolNode(e expr) *ir.Node { return e.n }
+
+// emitExprStmt emits an expression evaluated for its side effects.
+func (p *parser) emitExprStmt(e expr) {
+	p.fn.Emit(e.n)
+}

@@ -1,0 +1,237 @@
+// Package cgram models machine description grammars: attributed context
+// free grammars whose productions describe target machine instructions,
+// addressing modes and glue, as in §3.1 and §4 of the paper. Terminal
+// symbols are the node labels of the intermediate-language expression trees
+// in prefix linearized form; there is one nonterminal for each register
+// class plus nonterminals introduced by factoring and a sentential
+// nonterminal.
+//
+// By the paper's convention, terminal symbols begin with an upper case
+// letter and nonterminal symbols with a lower case letter.
+package cgram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prod is one attributed production. The right hand side is the prefix
+// linearized form of a computation tree of terminals and nonterminals, or —
+// in a factored grammar — a single symbol (§4). Action names the semantic
+// action invoked when the production is reduced (the paper's hand-assigned
+// R(n) numbers, §6.4); Pred names a semantic qualification that must hold
+// before the production may be chosen (§3.1).
+type Prod struct {
+	Index  int // position in the grammar; rule 0 is the augmented start rule
+	LHS    string
+	RHS    []string
+	Action string
+	Pred   string
+}
+
+// IsChain reports whether the production is a nonterminal chain rule
+// (single nonterminal right hand side). The table constructor must ensure
+// chain rules are never reduced cyclically (§3.2).
+func (p *Prod) IsChain() bool {
+	return len(p.RHS) == 1 && !IsTerminal(p.RHS[0])
+}
+
+func (p *Prod) String() string {
+	s := p.LHS + " -> " + strings.Join(p.RHS, " ")
+	var attrs []string
+	if p.Action != "" {
+		attrs = append(attrs, "action="+p.Action)
+	}
+	if p.Pred != "" {
+		attrs = append(attrs, "pred="+p.Pred)
+	}
+	if len(attrs) > 0 {
+		s += " ; " + strings.Join(attrs, " ")
+	}
+	return s
+}
+
+// IsTerminal reports whether a symbol name denotes a terminal, using the
+// paper's case convention.
+func IsTerminal(sym string) bool {
+	if sym == "" {
+		return false
+	}
+	c := sym[0]
+	return c >= 'A' && c <= 'Z'
+}
+
+// Grammar is a machine description grammar.
+type Grammar struct {
+	Start string
+	Prods []*Prod
+
+	terms    []string
+	nonterms []string
+	symSet   map[string]bool
+}
+
+// New builds a grammar from a start symbol and productions, indexing the
+// symbol vocabulary. Production indices are assigned in order, starting at
+// 1; index 0 is reserved for the implicit augmented rule start' -> Start.
+func New(start string, prods []*Prod) (*Grammar, error) {
+	if start == "" {
+		return nil, fmt.Errorf("cgram: empty start symbol")
+	}
+	if IsTerminal(start) {
+		return nil, fmt.Errorf("cgram: start symbol %q must be a nonterminal", start)
+	}
+	g := &Grammar{Start: start, symSet: make(map[string]bool)}
+	seen := make(map[string]bool)
+	add := func(sym string) {
+		if sym == "" || seen[sym] {
+			return
+		}
+		seen[sym] = true
+		g.symSet[sym] = true
+		if IsTerminal(sym) {
+			g.terms = append(g.terms, sym)
+		} else {
+			g.nonterms = append(g.nonterms, sym)
+		}
+	}
+	add(start)
+	for i, p := range prods {
+		if p.LHS == "" || len(p.RHS) == 0 {
+			return nil, fmt.Errorf("cgram: production %d is empty", i+1)
+		}
+		if IsTerminal(p.LHS) {
+			return nil, fmt.Errorf("cgram: production %d: terminal %q on left hand side", i+1, p.LHS)
+		}
+		p.Index = i + 1
+		add(p.LHS)
+		for _, s := range p.RHS {
+			add(s)
+		}
+	}
+	g.Prods = prods
+	sort.Strings(g.terms)
+	sort.Strings(g.nonterms)
+	return g, nil
+}
+
+// Terminals returns the terminal vocabulary, sorted.
+func (g *Grammar) Terminals() []string { return g.terms }
+
+// Nonterminals returns the nonterminal vocabulary, sorted.
+func (g *Grammar) Nonterminals() []string { return g.nonterms }
+
+// HasSymbol reports whether the grammar mentions sym.
+func (g *Grammar) HasSymbol(sym string) bool { return g.symSet[sym] }
+
+// ProdsFor returns the productions with the given left hand side.
+func (g *Grammar) ProdsFor(lhs string) []*Prod {
+	var out []*Prod
+	for _, p := range g.Prods {
+		if p.LHS == lhs {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stats summarizes grammar size, the quantities §8 of the paper reports.
+type Stats struct {
+	Productions  int
+	Terminals    int
+	Nonterminals int
+	ChainRules   int
+}
+
+// Stats returns grammar size statistics.
+func (g *Grammar) Stats() Stats {
+	st := Stats{
+		Productions:  len(g.Prods),
+		Terminals:    len(g.terms),
+		Nonterminals: len(g.nonterms),
+	}
+	for _, p := range g.Prods {
+		if p.IsChain() {
+			st.ChainRules++
+		}
+	}
+	return st
+}
+
+// Validate checks structural well-formedness: the start symbol derives
+// something, every nonterminal used has at least one production, and —
+// given an arity oracle for terminals — every right hand side is either a
+// single symbol or a well-formed flattened tree, the factoring discipline
+// of §4.
+func (g *Grammar) Validate(arityOf func(term string) (int, bool)) error {
+	hasProd := make(map[string]bool)
+	for _, p := range g.Prods {
+		hasProd[p.LHS] = true
+	}
+	if !hasProd[g.Start] {
+		return fmt.Errorf("cgram: start symbol %q has no productions", g.Start)
+	}
+	for _, nt := range g.nonterms {
+		if !hasProd[nt] {
+			return fmt.Errorf("cgram: nonterminal %q has no productions", nt)
+		}
+	}
+	if arityOf == nil {
+		return nil
+	}
+	for _, p := range g.Prods {
+		if len(p.RHS) == 1 {
+			continue // single symbol: operator-class factoring or chain rule
+		}
+		if err := checkFlattenedTree(p.RHS, arityOf); err != nil {
+			return fmt.Errorf("cgram: production %d (%s): %v", p.Index, p, err)
+		}
+	}
+	return nil
+}
+
+// checkFlattenedTree verifies that rhs is exactly the prefix linearization
+// of one tree: terminals consume arity operands, nonterminals are leaves.
+func checkFlattenedTree(rhs []string, arityOf func(string) (int, bool)) error {
+	pos := 0
+	var walk func() error
+	walk = func() error {
+		if pos >= len(rhs) {
+			return fmt.Errorf("right hand side is a truncated tree")
+		}
+		sym := rhs[pos]
+		pos++
+		if !IsTerminal(sym) {
+			return nil // nonterminal leaf
+		}
+		n, ok := arityOf(sym)
+		if !ok {
+			return fmt.Errorf("unknown terminal %q", sym)
+		}
+		for i := 0; i < n; i++ {
+			if err := walk(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(); err != nil {
+		return err
+	}
+	if pos != len(rhs) {
+		return fmt.Errorf("right hand side is %d trees, not one", 1+len(rhs)-pos)
+	}
+	return nil
+}
+
+// String renders the grammar in the textual form Parse accepts.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%%start %s\n", g.Start)
+	for _, p := range g.Prods {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

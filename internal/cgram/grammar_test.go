@@ -1,0 +1,228 @@
+package cgram
+
+import (
+	"strings"
+	"testing"
+
+	"ggcg/internal/ir"
+)
+
+const tiny = `
+# a tiny machine description
+%start stmt
+stmt   -> Assign.l lval.l rval.l ; action=asg.l
+reg.l  -> Plus.l rval.l rval.l   ; action=add.l
+rval.l -> reg.l
+rval.l -> Const.l                ; action=imm.l
+lval.l -> Name.l                 ; action=abs.l
+rval.l -> Indir.l addr           ; action=mem.l
+addr   -> reg.l | Plus.l Const.l reg.l ; action=disp
+`
+
+func TestParseTiny(t *testing.T) {
+	g, err := Parse(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "stmt" {
+		t.Errorf("start = %q", g.Start)
+	}
+	st := g.Stats()
+	if st.Productions != 8 {
+		t.Errorf("productions = %d, want 8", st.Productions)
+	}
+	wantTerms := []string{"Assign.l", "Const.l", "Indir.l", "Name.l", "Plus.l"}
+	if got := g.Terminals(); strings.Join(got, " ") != strings.Join(wantTerms, " ") {
+		t.Errorf("terminals = %v, want %v", got, wantTerms)
+	}
+	wantNT := []string{"addr", "lval.l", "reg.l", "rval.l", "stmt"}
+	if got := g.Nonterminals(); strings.Join(got, " ") != strings.Join(wantNT, " ") {
+		t.Errorf("nonterminals = %v, want %v", got, wantNT)
+	}
+	if st.ChainRules != 2 { // rval.l -> reg.l and addr -> reg.l
+		t.Errorf("chain rules = %d, want 2", st.ChainRules)
+	}
+}
+
+func TestProdIndicesAndAttrs(t *testing.T) {
+	g := MustParse(tiny)
+	for i, p := range g.Prods {
+		if p.Index != i+1 {
+			t.Errorf("production %d has index %d", i, p.Index)
+		}
+	}
+	adds := g.ProdsFor("reg.l")
+	if len(adds) != 1 || adds[0].Action != "add.l" {
+		t.Errorf("reg.l productions = %v", adds)
+	}
+	// The '|' alternative: attributes apply to the last alternative only.
+	addr := g.ProdsFor("addr")
+	if len(addr) != 2 {
+		t.Fatalf("addr has %d productions", len(addr))
+	}
+	if addr[0].Action != "" || addr[1].Action != "disp" {
+		t.Errorf("alternative attributes wrong: %q %q", addr[0].Action, addr[1].Action)
+	}
+}
+
+func TestIsTerminalConvention(t *testing.T) {
+	for sym, want := range map[string]bool{
+		"Plus.l": true, "Zero": true, "reg.l": false, "stmt": false, "": false, "dx.b": false,
+	} {
+		if got := IsTerminal(sym); got != want {
+			t.Errorf("IsTerminal(%q) = %v, want %v", sym, got, want)
+		}
+	}
+}
+
+func TestChainRule(t *testing.T) {
+	g := MustParse(tiny)
+	var chains []string
+	for _, p := range g.Prods {
+		if p.IsChain() {
+			chains = append(chains, p.String())
+		}
+	}
+	if len(chains) != 2 {
+		t.Errorf("chains = %v", chains)
+	}
+	// A single-terminal RHS is not a chain rule.
+	p := &Prod{LHS: "rval.l", RHS: []string{"Const.l"}}
+	if p.IsChain() {
+		t.Error("terminal RHS misclassified as chain")
+	}
+}
+
+func TestValidateFlattenedTrees(t *testing.T) {
+	g := MustParse(tiny)
+	if err := g.Validate(ir.TermArity); err != nil {
+		t.Errorf("tiny grammar should validate: %v", err)
+	}
+	// An RHS that is two trees, not one.
+	bad := MustParse("stmt -> Const.l Const.l\n")
+	if err := bad.Validate(ir.TermArity); err == nil {
+		t.Error("two-tree RHS accepted")
+	}
+	// A truncated tree.
+	bad2 := MustParse("stmt -> Plus.l rval.l\nrval.l -> Const.l\n")
+	if err := bad2.Validate(ir.TermArity); err == nil {
+		t.Error("truncated-tree RHS accepted")
+	}
+	// Unknown terminal.
+	bad3 := MustParse("stmt -> Frob.l rval.l rval.l\nrval.l -> Const.l\n")
+	if err := bad3.Validate(ir.TermArity); err == nil {
+		t.Error("unknown terminal accepted")
+	}
+}
+
+func TestValidateMissingProductions(t *testing.T) {
+	g := MustParse("stmt -> Assign.l lval.l rval.l\nrval.l -> Const.l\n")
+	if err := g.Validate(nil); err == nil {
+		t.Error("nonterminal without productions accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"stmt Assign.l",           // no arrow
+		"stmt ->",                 // empty RHS
+		"a b -> C",                // multi-symbol LHS
+		"stmt -> C ; bogus=1",     // unknown attribute
+		"stmt -> C ; action",      // malformed attribute
+		"%start\nstmt -> Const.l", // empty %start
+		"Stmt -> Const.l",         // terminal LHS
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	g := MustParse(tiny)
+	g2, err := Parse(g.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if g2.Stats() != g.Stats() {
+		t.Errorf("round trip stats changed: %+v vs %+v", g.Stats(), g2.Stats())
+	}
+	for i := range g.Prods {
+		if g.Prods[i].String() != g2.Prods[i].String() {
+			t.Errorf("production %d changed: %s vs %s", i, g.Prods[i], g2.Prods[i])
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	g := MustParse("# leading comment\n\nstmt -> Const.l # trailing\n\n# end\n")
+	if len(g.Prods) != 1 {
+		t.Errorf("got %d productions", len(g.Prods))
+	}
+}
+
+func TestPredAttribute(t *testing.T) {
+	g := MustParse("stmt -> Const.l ; action=a pred=inRange\n")
+	if g.Prods[0].Pred != "inRange" {
+		t.Errorf("pred = %q", g.Prods[0].Pred)
+	}
+	s := g.Prods[0].String()
+	if !strings.Contains(s, "pred=inRange") || !strings.Contains(s, "action=a") {
+		t.Errorf("String() lost attributes: %s", s)
+	}
+}
+
+// Property: rendering a grammar and reparsing it preserves every
+// production, for randomly generated grammars.
+func TestRoundTripProperty(t *testing.T) {
+	gen := func(seed int64) string {
+		s := uint64(seed)*2862933555777941757 + 13
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(n))
+		}
+		nts := []string{"s", "a", "b", "c"}
+		terms := []string{"X", "Y.l", "Z.b", "Op2"}
+		var sb strings.Builder
+		sb.WriteString("%start s\n")
+		for _, nt := range nts {
+			for k := 0; k <= next(2); k++ {
+				sb.WriteString(nt + " ->")
+				for j := 0; j <= next(3); j++ {
+					if next(2) == 0 {
+						sb.WriteString(" " + terms[next(len(terms))])
+					} else {
+						sb.WriteString(" " + nts[next(len(nts))])
+					}
+				}
+				if next(2) == 0 {
+					sb.WriteString(" ; action=a" + nt)
+				}
+				sb.WriteString("\n")
+			}
+		}
+		return sb.String()
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		src := gen(seed)
+		g, err := Parse(src)
+		if err != nil {
+			continue // some random grammars have empty right-hand sides
+		}
+		g2, err := Parse(g.String())
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v\n%s", seed, err, g.String())
+		}
+		if len(g.Prods) != len(g2.Prods) {
+			t.Fatalf("seed %d: production count changed", seed)
+		}
+		for i := range g.Prods {
+			if g.Prods[i].String() != g2.Prods[i].String() {
+				t.Errorf("seed %d: production %d changed: %q vs %q",
+					seed, i, g.Prods[i], g2.Prods[i])
+			}
+		}
+	}
+}

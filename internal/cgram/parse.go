@@ -1,0 +1,104 @@
+package cgram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a grammar from its textual form: one production per line,
+//
+//	lhs -> sym sym ... ; action=NAME pred=NAME
+//
+// with '#' comments, blank lines ignored, and an optional '%start sym'
+// directive (default: the left hand side of the first production).
+// Alternatives may be separated by '|' within a line; attributes after ';'
+// apply to the last alternative on the line.
+func Parse(src string) (*Grammar, error) {
+	start := ""
+	var prods []*Prod
+	for ln, line := range strings.Split(src, "\n") {
+		line = stripComment(line)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "%start") {
+			start = strings.TrimSpace(strings.TrimPrefix(line, "%start"))
+			if start == "" {
+				return nil, fmt.Errorf("cgram: line %d: %%start needs a symbol", ln+1)
+			}
+			continue
+		}
+		ps, err := parseProdLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("cgram: line %d: %v", ln+1, err)
+		}
+		prods = append(prods, ps...)
+	}
+	if len(prods) == 0 {
+		return nil, fmt.Errorf("cgram: no productions")
+	}
+	if start == "" {
+		start = prods[0].LHS
+	}
+	return New(start, prods)
+}
+
+// MustParse is Parse for known-good grammars; it panics on error.
+func MustParse(src string) *Grammar {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func parseProdLine(line string) ([]*Prod, error) {
+	body := line
+	attrs := ""
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		body, attrs = line[:i], line[i+1:]
+	}
+	arrow := strings.Index(body, "->")
+	if arrow < 0 {
+		return nil, fmt.Errorf("missing '->' in %q", line)
+	}
+	lhs := strings.TrimSpace(body[:arrow])
+	if lhs == "" || len(strings.Fields(lhs)) != 1 {
+		return nil, fmt.Errorf("bad left hand side %q", lhs)
+	}
+	var prods []*Prod
+	for _, alt := range strings.Split(body[arrow+2:], "|") {
+		rhs := strings.Fields(alt)
+		if len(rhs) == 0 {
+			return nil, fmt.Errorf("empty right hand side in %q", line)
+		}
+		prods = append(prods, &Prod{LHS: lhs, RHS: rhs})
+	}
+	if attrs != "" {
+		last := prods[len(prods)-1]
+		for _, field := range strings.Fields(attrs) {
+			eq := strings.IndexByte(field, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bad attribute %q", field)
+			}
+			key, val := field[:eq], field[eq+1:]
+			switch key {
+			case "action":
+				last.Action = val
+			case "pred":
+				last.Pred = val
+			default:
+				return nil, fmt.Errorf("unknown attribute %q", key)
+			}
+		}
+	}
+	return prods, nil
+}

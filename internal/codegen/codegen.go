@@ -1,0 +1,200 @@
+// Package codegen assembles the four-phase Graham-Glanville code generator
+// of the paper (its Figure 2): tree transformation, table-driven pattern
+// matching, instruction generation and output generation, organized as one
+// program with logical subphases (§5).
+package codegen
+
+import (
+	"fmt"
+
+	"ggcg/internal/ir"
+	"ggcg/internal/matcher"
+	"ggcg/internal/peep"
+	"ggcg/internal/tablegen"
+	"ggcg/internal/transform"
+	"ggcg/internal/vax"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Transform configures phase 1 (e.g. disabling reverse operators).
+	Transform transform.Options
+
+	// Tables overrides the instruction-selection tables (used by the
+	// experiments that rebuild tables from modified grammars). Nil means
+	// the standard VAX tables.
+	Tables *tablegen.Tables
+
+	// Trace, if non-nil, receives every pattern matcher action — the
+	// shift/reduce listing of the paper's appendix.
+	Trace func(matcher.TraceEvent)
+
+	// WrapSem, if non-nil, wraps the semantic routines; the phase-time
+	// experiment uses it to separate parsing time from semantic time.
+	WrapSem func(matcher.Semantics) matcher.Semantics
+
+	// Peephole runs the assembly-level peephole optimizer over the output
+	// — the alternative organization §6.1 of the paper discusses.
+	Peephole bool
+}
+
+// Stats reports code-generation work.
+type Stats struct {
+	Matcher       matcher.Stats
+	Spills        int
+	BindingIdioms int
+	RangeIdioms   int
+	TstBackstops  int
+	AsmLines      int
+	Peephole      peep.Stats
+}
+
+// Result is a compiled unit.
+type Result struct {
+	Asm   string
+	Stats Stats
+}
+
+// Compile runs the full code generator over a unit, producing VAX assembly
+// for the simulator's assembler.
+func Compile(u *ir.Unit, opt Options) (*Result, error) {
+	t := opt.Tables
+	if t == nil {
+		var err error
+		t, err = vax.Tables()
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := vax.NewEmitter()
+	vax.EmitGlobals(out, u.Globals)
+	res := &Result{}
+	labelBase := 0
+	for _, f := range u.Funcs {
+		next, err := compileFunc(out, t, f, opt, &res.Stats, labelBase)
+		if err != nil {
+			return nil, err
+		}
+		labelBase = next
+	}
+	res.Asm = out.String()
+	res.Stats.AsmLines = out.Lines()
+	if opt.Peephole {
+		var pst peep.Stats
+		res.Asm, pst = peep.Optimize(res.Asm)
+		res.Stats.Peephole = pst
+		res.Stats.AsmLines -= pst.LinesRemoved
+	}
+	return res, nil
+}
+
+// compileFunc generates one function, numbering its labels from labelBase
+// so labels are unique across the output file; it returns the next base.
+func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, stats *Stats, labelBase int) (int, error) {
+	// Phase 1: tree transformation.
+	tf, err := transform.Func(f, opt.Transform)
+	if err != nil {
+		return 0, err
+	}
+
+	// Phases 2–4 interleave: reductions invoke the instruction generator,
+	// which emits formatted assembly. The body is generated into its own
+	// emitter because the frame size (including spill temporaries) is only
+	// known afterwards.
+	body := vax.NewEmitter()
+	gen := vax.NewGen(body, tf)
+	gen.LabelBase = labelBase
+	maxLabel := 0
+	note := func(id int) {
+		if id > maxLabel {
+			maxLabel = id
+		}
+	}
+	var sem matcher.Semantics = gen
+	if opt.WrapSem != nil {
+		sem = opt.WrapSem(gen)
+	}
+	m := matcher.New(t, sem)
+	m.Trace = opt.Trace
+
+	first, last := phase1Spans(tf)
+	for i, it := range tf.Items {
+		for _, r := range first[i] {
+			gen.RM.Phase1Busy(r, true)
+		}
+		if it.Kind == ir.ItemLabel {
+			note(it.Label)
+			body.Label(labelBase + it.Label)
+			continue
+		}
+		it.Tree.Walk(func(n *ir.Node) bool {
+			if n.Op == ir.Lab {
+				note(int(n.Val))
+			}
+			return true
+		})
+		if _, err := m.Match(ir.Linearize(it.Tree)); err != nil {
+			return 0, fmt.Errorf("codegen: %s: %v", f.Name, err)
+		}
+		if err := gen.RM.CheckStatementEnd(); err != nil {
+			return 0, fmt.Errorf("codegen: %s: %v (tree %s)", f.Name, err, it.Tree)
+		}
+		for _, r := range last[i] {
+			gen.RM.Phase1Busy(r, false)
+		}
+	}
+
+	vax.FuncHeader(out, f.Name, tf.TotalFrame())
+	out.Append(body)
+
+	stats.Matcher = addMatcherStats(stats.Matcher, m.Stats())
+	stats.Spills += gen.RM.Spills
+	stats.BindingIdioms += gen.BindingIdioms
+	stats.RangeIdioms += gen.RangeIdioms
+	stats.TstBackstops += body.TstBackstops
+	return labelBase + maxLabel + 1, nil
+}
+
+func addMatcherStats(a, b matcher.Stats) matcher.Stats {
+	a.Shifts += b.Shifts
+	a.Reduces += b.Reduces
+	a.Trees += b.Trees
+	return a
+}
+
+// phase1Spans returns, per item index, which registers become busy or free
+// there: the spans the transformation phase recorded — the paper's
+// "special trees specifying which registers it assigned, as well as a use
+// count" (§5.3.3). Registers mentioned by RegUse or allocatable-Dreg trees
+// without a recorded span (hand-built input) get a conservative
+// whole-mention span instead.
+func phase1Spans(f *ir.Func) (first, last map[int][]int) {
+	first, last = make(map[int][]int), make(map[int][]int)
+	recorded := make(map[int]bool)
+	for _, sp := range f.P1Spans {
+		recorded[sp.Reg] = true
+		first[sp.First] = append(first[sp.First], sp.Reg)
+		last[sp.Last] = append(last[sp.Last], sp.Reg)
+	}
+	lo, hi := make(map[int]int), make(map[int]int)
+	for i, it := range f.Items {
+		if it.Kind != ir.ItemTree {
+			continue
+		}
+		it.Tree.Walk(func(n *ir.Node) bool {
+			if (n.Op == ir.Dreg || n.Op == ir.RegUse) && n.Val < ir.NAllocatable && !recorded[int(n.Val)] {
+				r := int(n.Val)
+				if _, ok := lo[r]; !ok {
+					lo[r] = i
+				}
+				hi[r] = i
+			}
+			return true
+		})
+	}
+	for r, i := range lo {
+		first[i] = append(first[i], r)
+		last[hi[r]] = append(last[hi[r]], r)
+	}
+	return first, last
+}

@@ -1,0 +1,95 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/irinterp"
+	"ggcg/internal/vaxsim"
+)
+
+// TestDeferredAddressingMode: dereferencing a pointer that lives in memory
+// uses the one-operand deferred form *d(fp) / *_sym instead of a load and
+// a register-deferred access.
+func TestDeferredAddressingMode(t *testing.T) {
+	src := `
+int g;
+int *gp;
+int main() {
+	int *p;
+	g = 5;
+	p = &g;
+	gp = &g;
+	*p = *p + 10;       /* *-4-ish(fp) deferred */
+	return *gp + g;     /* *_gp deferred */
+}`
+	u, err := cfront.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := irinterp.New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Asm, "*") {
+		t.Errorf("no deferred operands in:\n%s", res.Asm)
+	}
+	if !strings.Contains(res.Asm, "*_gp") {
+		t.Errorf("global pointer not accessed with *_gp:\n%s", res.Asm)
+	}
+	prog, err := vaxsim.Assemble(res.Asm)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Asm)
+	}
+	got, err := vaxsim.New(prog).Call("_main")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Asm)
+	}
+	if got != oracle {
+		t.Errorf("got %d, oracle %d\n%s", got, oracle, res.Asm)
+	}
+}
+
+// TestDeferredThroughPointerChain: a pointer to a pointer dereferences
+// with at most one deferred level per instruction.
+func TestDeferredThroughPointerChain(t *testing.T) {
+	src := `
+int x;
+int *p;
+int **pp;
+int main() {
+	x = 40;
+	p = &x;
+	pp = &p;
+	**pp += 2;
+	return **pp;
+}`
+	u, err := cfront.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := irinterp.New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vaxsim.Assemble(res.Asm)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Asm)
+	}
+	got, err := vaxsim.New(prog).Call("_main")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Asm)
+	}
+	if got != 42 || got != oracle {
+		t.Errorf("got %d, oracle %d, want 42\n%s", got, oracle, res.Asm)
+	}
+}

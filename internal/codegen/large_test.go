@@ -1,0 +1,104 @@
+package codegen
+
+import (
+	"testing"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/corpus"
+	"ggcg/internal/irinterp"
+	"ggcg/internal/vaxsim"
+)
+
+func diffOne(t *testing.T, name, src string, args ...int64) {
+	t.Helper()
+	u, err := cfront.Compile(src)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	oracle, err := irinterp.New(u).Call("main", args...)
+	if err != nil {
+		t.Fatalf("%s oracle: %v", name, err)
+	}
+	res, err := Compile(u, Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	prog, err := vaxsim.Assemble(res.Asm)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	got, err := vaxsim.New(prog).Call("_main", args...)
+	if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, res.Asm)
+	}
+	if got != oracle {
+		t.Errorf("%s: got %d, oracle %d\n%s", name, got, oracle, res.Asm)
+	}
+}
+
+func TestFocusedDifferentials(t *testing.T) {
+	diffOne(t, "f1-alone", `
+int data[64];
+int f1(int x) { int i; for (i = 0; i < 16; i++) data[i + 7] = x + i * i; return data[10] + data[18]; }
+int main() { return f1(5); }`)
+	diffOne(t, "f0-alone", `
+int f0(int x) { int i, s = 0; for (i = 0; i < 10; i++) s += (x + i) * 3 - (s >> 2); return s % 9973; }
+int main() { return f0(17); }`)
+	diffOne(t, "f2-alone", `
+int f1(int x) { return x + 2; }
+int f2(int x) {
+	if (x > 100) return x - f1(x / 2);
+	if (x % 3 == 0 && x > 0 || x < -50) return x * 2 + 1;
+	return x > 0 ? x + 2 : 2 - x;
+}
+int main() { return f2(333) + 100 * f2(6) + 17 * f2(-80) + f2(7); }`)
+	diffOne(t, "f3-alone", `
+int f3(int x) {
+	register int i, s;
+	s = x;
+	for (i = 1; i <= 12; i++) { s ^= (s << 1) + i; s &= 0xffffff; }
+	return s % 8191;
+}
+int main() { return f3(99); }`)
+	diffOne(t, "f4-alone", `
+int f4(int x) {
+	int a, c; unsigned int u;
+	a = x * 3 - 7; c = a % 11;
+	u = a + 100; u /= 3;
+	return c + u % 971 + (a > 0) * 4;
+}
+int main() { return f4(55) + f4(-13); }`)
+	diffOne(t, "chain-mod", `
+int acc;
+int f(int x) { return x * 7 + 3; }
+int main() { acc = 1; acc = (acc + f(acc + 0)) % 100000; acc = (acc + f(acc + 1)) % 100000; return acc; }`)
+}
+
+func TestLargeBisect(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		src := corpus.Large(n)
+		u, err := cfront.Compile(src)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		oracle, err := irinterp.New(u).Call("main")
+		if err != nil {
+			t.Fatalf("n=%d oracle: %v", n, err)
+		}
+		res, err := Compile(u, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		prog, err := vaxsim.Assemble(res.Asm)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := vaxsim.New(prog).Call("_main")
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got != oracle {
+			t.Errorf("n=%d: got %d, oracle %d", n, got, oracle)
+		}
+	}
+}

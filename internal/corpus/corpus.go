@@ -1,0 +1,397 @@
+// Package corpus supplies the programs the experiments and differential
+// tests run: a set of small C programs covering the language features the
+// front end accepts, and a deterministic generator of arbitrarily large
+// programs standing in for the paper's "particular large C program" (§8).
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a test program with the result main() must return.
+type Program struct {
+	Name string
+	Src  string
+	Args []int64
+	Want int64 // expected result of main(Args...)
+}
+
+// Programs returns the validation corpus. Every program is self-checking:
+// main returns Want.
+func Programs() []Program {
+	return []Program{
+		{Name: "return42", Src: `int main() { return 42; }`, Want: 42},
+		{Name: "arith", Src: `int main() { return (3 + 4) * 5 - 36 / 6 % 4; }`, Want: 33},
+		{Name: "appendix", Want: 127, Src: `
+long a;
+int main() { char b; b = 100; a = 27 + b; return a; }`},
+		{Name: "globals", Want: 37, Src: `
+int a; int b = 10;
+int main() { a = 27; return a + b; }`},
+		{Name: "locals", Want: 10, Src: `
+int main() { int x = 5; int y; y = x * 3; return y - x; }`},
+		{Name: "chars", Want: 44 + 4464, Src: `
+char c; short s;
+int main() { c = 300; s = 70000; return c + s; }`},
+		{Name: "ifelse", Want: 1, Args: []int64{7}, Src: `
+int classify(int x) { if (x < 0) return -1; else if (x == 0) return 0; else return 1; }
+int main(int v) { return classify(v); }`},
+		{Name: "whileloop", Want: 55, Src: `
+int main() { int i = 1, s = 0; while (i <= 10) { s += i; i++; } return s; }`},
+		{Name: "forloop", Want: 30, Src: `
+int main() {
+	int i, s; s = 0;
+	for (i = 0; i < 100; i++) { if (i % 2) continue; if (i > 10) break; s += i; }
+	return s;
+}`},
+		{Name: "dowhile", Want: 4, Src: `
+int main() { int i = 0, n = 0; do { n++; i += 3; } while (i < 10); return n; }`},
+		{Name: "shortcircuit", Want: 12, Src: `
+int g;
+int bump() { g++; return 1; }
+int main() {
+	g = 0;
+	if (0 && bump()) g += 100;
+	if (1 || bump()) g += 10;
+	if (1 && bump()) g += 1;
+	return g;
+}`},
+		{Name: "ternary", Want: 9, Args: []int64{-9}, Src: `
+int main(int x) { return x > 0 ? x : -x; }`},
+		{Name: "boolvalue", Want: 11, Args: []int64{7}, Src: `
+int main(int x) { int b; b = x > 3; return b * 10 + (x == 7); }`},
+		{Name: "fact", Want: 720, Src: `
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main() { return fact(6); }`},
+		{Name: "fib", Want: 55, Src: `
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { return fib(10); }`},
+		{Name: "nestedcalls", Want: 15, Src: `
+int add(int a, int b) { return a + b; }
+int main() { return add(add(1, 2), add(3, add(4, 5))); }`},
+		{Name: "arrays", Want: 49, Src: `
+int a[10];
+int main() { int i; for (i = 0; i < 10; i++) a[i] = i * i; return a[7]; }`},
+		{Name: "localarrays", Want: 9, Src: `
+int main() {
+	int buf[4]; int *p;
+	buf[0] = 1; buf[1] = 2; buf[2] = 3; buf[3] = 4;
+	p = buf; p++;
+	return *p + p[1] + *(buf + 3);
+}`},
+		{Name: "chararray", Want: 206, Src: `
+char tab[8];
+int main() {
+	int i;
+	for (i = 0; i < 8; i++) tab[i] = i * 2;
+	return tab[3] + tab[5] * tab[7] + tab[2] * 15;
+}`},
+		{Name: "shortarray", Want: 3000, Src: `
+short v[6];
+int main() { int i; for (i = 0; i < 6; i++) v[i] = 1000 * i; return v[1] + v[2]; }`},
+		{Name: "pointers", Want: 42, Src: `
+int g;
+int main() { int *p; p = &g; *p = 33; return g + 9; }`},
+		{Name: "ptrdiff", Want: 7, Src: `
+int a[10];
+int main() { int *p, *q; p = &a[2]; q = &a[9]; return q - p; }`},
+		{Name: "incdec", Want: 555, Src: `
+int main() { int i = 5, a, b; a = i++; b = --i; return a * 100 + b * 10 + i; }`},
+		{Name: "compound", Want: 5, Src: `
+int main() {
+	int x = 10;
+	x += 5; x -= 3; x *= 4; x /= 2; x %= 13;
+	x <<= 2; x >>= 1; x &= 14; x |= 1; x ^= 2;
+	return x;
+}`},
+		{Name: "bitops", Want: 0x0f, Src: `
+int main() { return (0xff & 0x0f) | (1 << 8) ^ 0x100; }`},
+		{Name: "shifts", Want: 85, Args: []int64{10}, Src: `
+int main(int x) { return (x << 3) + (x >> 1); }`},
+		{Name: "varshifts", Want: 130, Args: []int64{4}, Src: `
+int main(int n) { int x = 8; return (x << n) + (x >> (n - 2)); }`},
+		{Name: "negshift", Want: -4, Src: `
+int main() { int x = -16; return x >> 2; }`},
+		{Name: "unsigneddiv", Want: 4, Src: `
+unsigned int u;
+int main() { u = 0; u = u - 2; return u / 1000000000; }`},
+		{Name: "unsignedmod", Want: 3, Src: `
+unsigned int u;
+int main() { u = 0 - 1; return u % 7; }`},
+		{Name: "unsignedcmp", Want: 1, Src: `
+unsigned int u;
+int main() { u = 0 - 1; if (u > 1) return 1; return 0; }`},
+		{Name: "unsignedshr", Want: 3, Src: `
+unsigned int u;
+int main() { u = 0 - 4; return u >> 30; }`},
+		{Name: "registers", Want: 55, Src: `
+int main() { register int i, s; s = 0; for (i = 1; i <= 10; i++) s += i; return s; }`},
+		{Name: "regpointer", Want: 3, Src: `
+int a[4];
+int main() {
+	register int *p; int s = 0;
+	a[0] = 1; a[1] = 2;
+	p = a;
+	s = *p++; s += *p++;
+	return s;
+}`},
+		{Name: "floats", Want: 5, Src: `
+double d; float f;
+int main() { d = 1.5; f = 2.5f; d = d * 2 + f; return (int)d; }`},
+		{Name: "floatarith", Want: 12, Src: `
+float x, y;
+int main() { x = 3.5f; y = 0.5f; return (int)((x + y) * (x - y)); }`},
+		{Name: "doubleparams", Want: 3, Src: `
+double half(double x) { return x / 2; }
+int main() { return (int)half(7.0); }`},
+		{Name: "floattoint", Want: 3, Src: `
+float f;
+int main() { f = 3.9f; return (int)f; }`},
+		{Name: "inttofloat", Want: 25, Src: `
+double d; int n;
+int main() { n = 5; d = n; return (int)(d * n); }`},
+		{Name: "casts", Want: 299, Src: `
+int main() {
+	int big = 300;
+	char c = (char)big;
+	unsigned char u = (unsigned char)(0-1);
+	return c + u;
+}`},
+		{Name: "uchar", Want: 510, Src: `
+unsigned char uc;
+int main() { uc = 0 - 1; return uc + uc; }`},
+		{Name: "chained", Want: 42, Src: `
+int a, b, c;
+int main() { a = b = c = 14; return a + b + c; }`},
+		{Name: "deepexpr", Want: 42, Src: `
+int w, x, y, z;
+int main() { w=1; x=2; y=3; z=4; return ((w+x)*(y+z) - (w*x+y*z)) * ((z-y)+(x-w)) * 3; }`},
+		{Name: "rightheavy", Want: -28, Src: `
+int g1, g2, g3, g4;
+int main() { g1 = 1; g2 = 2; g3 = 3; g4 = 4; return g1 - (g2 + g3 * (g4 + g1 * (g2 + g3))); }`},
+		{Name: "sideeffectcond", Want: 11, Src: `
+int main() { int i = 0; if (i++ < 5) i += 10; return i; }`},
+		{Name: "gcd", Want: 6, Src: `
+int gcd(int a, int b) { while (b != 0) { int t; t = a % b; a = b; b = t; } return a; }
+int main() { return gcd(54, 24); }`},
+		{Name: "collatz", Want: 111, Src: `
+int main() {
+	int n = 27, steps = 0;
+	while (n != 1) { if (n % 2) n = 3 * n + 1; else n = n / 2; steps++; }
+	return steps;
+}`},
+		{Name: "sieve", Want: 25, Src: `
+char composite[100];
+int main() {
+	int i, j, count = 0;
+	for (i = 2; i < 100; i++) {
+		if (!composite[i]) {
+			count++;
+			for (j = i + i; j < 100; j += i) composite[j] = 1;
+		}
+	}
+	return count;
+}`},
+		{Name: "bubblesort", Want: 1, Src: `
+int a[8];
+int main() {
+	int i, j, t, n = 8;
+	for (i = 0; i < n; i++) a[i] = n - i;
+	for (i = 0; i < n - 1; i++)
+		for (j = 0; j < n - 1 - i; j++)
+			if (a[j] > a[j + 1]) { t = a[j]; a[j] = a[j + 1]; a[j + 1] = t; }
+	for (i = 1; i < n; i++) if (a[i] <= a[i - 1]) return 0;
+	return 1;
+}`},
+		{Name: "matrix", Want: 17, Src: `
+int m[9];
+int main() {
+	int i, j, s = 0;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 3; j++)
+			m[i * 3 + j] = i + j;
+	for (i = 0; i < 3; i++) s += m[i * 3 + i] + m[i];
+	return s + 8;
+}`},
+		{Name: "negation", Want: 25, Src: `
+int main() { int x = -5; return x * x; }`},
+		{Name: "complement", Want: 16, Src: `
+int main() { int x = -17; return ~x; }`},
+		{Name: "commaop", Want: 30, Src: `
+int main() { int i, s = 0; for (i = 0; i < 3; i++, s += 10) ; return s; }`},
+		{Name: "scopes", Want: 2, Src: `
+int x = 1;
+int main() { int x = 2; { int x = 3; if (x != 3) return 100; } return x; }`},
+		{Name: "manyargs", Want: 21, Src: `
+int sum6(int a, int b, int c, int d, int e, int f) { return a + b + c + d + e + f; }
+int main() { return sum6(1, 2, 3, 4, 5, 6); }`},
+		{Name: "mixedwidth", Want: 421, Src: `
+char c; short s; int l;
+int main() { c = 9; s = 300; l = c * s + c * 2 + s / 3; return l - 2397; }`},
+		{Name: "addressarith", Want: 15, Src: `
+int a[5];
+int main() {
+	int *p; int s = 0; int i;
+	for (i = 0; i < 5; i++) a[i] = i + 1;
+	for (p = a; p < a + 5; p++) s += *p;
+	return s;
+}`},
+		{Name: "voidcall", Want: 7, Src: `
+int g;
+void setg(int v) { g = v; }
+int main() { setg(7); return g; }`},
+		{Name: "ptrinmemory", Want: 15, Src: `
+int g;
+int *gp;
+int main() {
+	int *p;
+	g = 5;
+	p = &g; gp = &g;
+	*p = *p + 10;
+	return *gp;
+}`},
+		{Name: "ptrtoptr", Want: 42, Src: `
+int x; int *p; int **pp;
+int main() { x = 40; p = &x; pp = &p; **pp += 2; return **pp; }`},
+		{Name: "doublechain", Want: 20, Src: `
+double a, b, c;
+int main() { a = 1.5; b = 2.5; c = (a + b) * (a + b) + a * b + (b - a); return (int)c; }`},
+		{Name: "floatcompare", Want: 3, Src: `
+float x, y;
+int main() {
+	int n = 0;
+	x = 1.25f; y = 2.5f;
+	if (x < y) n += 1;
+	if (y >= x + x) n += 2;
+	if (x == y) n += 4;
+	return n;
+}`},
+		{Name: "negconstants", Want: -9, Src: `
+int main() { int a = -3; return a * 3; }`},
+		{Name: "mixedsigns", Want: 4, Src: `
+int main() { int a = -17; int b = 5; return (a / b) * (a % b > 0 ? 1 : -1) + 1; }`},
+		{Name: "whilesideeffect", Want: 10, Src: `
+int main() {
+	int n = 10, c = 0;
+	while (n--) c++;
+	return c;
+}`},
+		{Name: "regptrwalk", Want: 28, Src: `
+int a[8];
+int main() {
+	register int *p;
+	register int s;
+	int i;
+	for (i = 0; i < 8; i++) a[i] = i;
+	s = 0;
+	for (p = a; p < a + 8; ) s += *p++;
+	return s;
+}`},
+		{Name: "selectnested", Want: 13, Src: `
+int pick(int a, int b, int c) { return a ? (b > c ? b : c) : (b < c ? b : c); }
+int main() { return pick(1, 9, 13) + pick(0, 7, 0); }`},
+		{Name: "xorswap", Want: 1, Src: `
+int main() {
+	int a = 123, b = 456;
+	a ^= b; b ^= a; a ^= b;
+	return a == 456 && b == 123;
+}`},
+		{Name: "switch", Want: 1541, Src: `
+int classify(int x) {
+	switch (x) {
+	case 0: return 1;
+	case 1:
+	case 2: return 20;
+	case 7: return 300;
+	default: return 4000;
+	}
+}
+int main() {
+	return classify(0) + classify(1) + classify(2) + classify(7) * 2 + classify(99) / 8 + classify(-1) / 10;
+}`},
+		{Name: "byteptrarith", Want: 24, Src: `
+char carr[16];
+int x;
+int main() {
+	int i;
+	for (i = 0; i < 16; i++) carr[i] = i;
+	x = 3;
+	return *(&carr[1] + x) + *(carr + x + x) + carr[x * 2 + 8] / 1;
+}`},
+		{Name: "switchfall", Want: 111, Src: `
+int main() {
+	int r = 0, v = 1;
+	switch (v) {
+	case 0: r += 1000;
+	case 1: r += 1;
+	case 2: r += 10; break;
+	case 3: r += 10000;
+	}
+	switch (v + 1) { case 2: r += 100; }
+	return r;
+}`},
+	}
+}
+
+// Large generates a deterministic self-checking program of roughly n
+// functions, standing in for the paper's "particular large C program".
+// Each function mixes arithmetic, loops, arrays and calls; main chains
+// them and returns a checksum.
+func Large(n int) string {
+	var b strings.Builder
+	b.WriteString("int acc;\nint data[64];\n")
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			fmt.Fprintf(&b, `
+int f%d(int x) {
+	int i, s = 0;
+	for (i = 0; i < 10; i++) s += (x + i) * %d - (s >> 2);
+	s = (s + x) - ((s + 1) * ((x + 2) + (s + 3)));
+	return s %% 9973;
+}
+`, i, i+3)
+		case 1:
+			fmt.Fprintf(&b, `
+int f%d(int x) {
+	int i;
+	for (i = 0; i < 16; i++) data[i + %d] = x + i * i;
+	return data[%d] + data[%d];
+}
+`, i, (i*7)%48, (i*7)%48+3, (i*7)%48+11)
+		case 2:
+			fmt.Fprintf(&b, `
+int f%d(int x) {
+	if (x > 100) return x - f%d(x / 2);
+	if (x %% 3 == 0 && x > 0 || x < -50) return x * 2 + 1;
+	return x > 0 ? x + %d : %d - x;
+}
+`, i, i-1, i, i)
+		case 3:
+			fmt.Fprintf(&b, `
+int f%d(int x) {
+	register int i, s;
+	s = x;
+	for (i = 1; i <= 12; i++) { s ^= (s << 1) + i; s &= 0xffffff; }
+	return s %% 8191;
+}
+`, i)
+		default:
+			fmt.Fprintf(&b, `
+int f%d(int x) {
+	int a, c; unsigned int u;
+	a = x * 3 - 7; c = a %% 11;
+	u = a + 100; u /= 3;
+	return c + u %% 971 + (a > 0) * %d;
+}
+`, i, i)
+		}
+	}
+	b.WriteString("\nint main() {\n\tacc = 1;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\tacc = (acc + f%d(acc + %d)) %% 100000;\n", i, i)
+	}
+	b.WriteString("\treturn acc;\n}\n")
+	return b.String()
+}

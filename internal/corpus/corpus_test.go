@@ -1,0 +1,78 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/irinterp"
+)
+
+// TestProgramsAgreeWithOracle checks every corpus program's recorded
+// result against the IR interpreter.
+func TestProgramsAgreeWithOracle(t *testing.T) {
+	for _, p := range Programs() {
+		u, err := cfront.Compile(p.Src)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		got, err := irinterp.New(u).Call("main", p.Args...)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if got != p.Want {
+			t.Errorf("%s: oracle %d, recorded %d", p.Name, got, p.Want)
+		}
+	}
+}
+
+func TestProgramNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Programs() {
+		if seen[p.Name] {
+			t.Errorf("duplicate program name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestLargeDeterministicAndScales(t *testing.T) {
+	a, b := Large(10), Large(10)
+	if a != b {
+		t.Error("Large is not deterministic")
+	}
+	if len(Large(40)) <= len(Large(10)) {
+		t.Error("Large does not scale with n")
+	}
+	if !strings.Contains(a, "int main()") {
+		t.Error("Large has no main")
+	}
+	u, err := cfront.Compile(Large(25))
+	if err != nil {
+		t.Fatalf("Large(25) does not compile: %v", err)
+	}
+	if _, err := irinterp.New(u).Call("main"); err != nil {
+		t.Fatalf("Large(25) does not run: %v", err)
+	}
+}
+
+func TestRandomDeterministicAndValid(t *testing.T) {
+	if Random(7) != Random(7) {
+		t.Error("Random is not deterministic")
+	}
+	if Random(7) == Random(8) {
+		t.Error("different seeds gave identical programs")
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		src := Random(seed)
+		u, err := cfront.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, src)
+		}
+		if _, err := irinterp.New(u).Call("main"); err != nil {
+			t.Fatalf("seed %d does not run: %v\n%s", seed, err, src)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a small deterministic generator so random programs are
+// reproducible from their seed.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+// Random generates a deterministic, well-defined random program from a
+// seed: integer arithmetic with guarded divisions and masked shifts,
+// bounded loops, arrays indexed in range, and calls between the generated
+// functions. The differential tests run thousands of these through both
+// code generators and the oracle.
+func Random(seed int64) string {
+	r := &rng{s: uint64(seed)*2654435761 + 1}
+	var b strings.Builder
+	b.WriteString("int g0, g1, g2;\nunsigned int u0;\nchar c0;\nshort s0;\nint arr[16];\nchar bar[8];\n")
+
+	nfuncs := 2 + r.intn(3)
+	for i := 0; i < nfuncs; i++ {
+		fmt.Fprintf(&b, "int f%d(int p0, int p1) {\n\tint l0 = p0, l1 = p1;\n", i)
+		g := &pgen{r: r, maxCall: i, locals: []string{"l0", "l1", "p0", "p1"}}
+		nstmts := 2 + r.intn(4)
+		for s := 0; s < nstmts; s++ {
+			g.stmt(&b, 1)
+		}
+		fmt.Fprintf(&b, "\treturn %s;\n}\n", g.expr(2))
+	}
+
+	b.WriteString("int main() {\n\tint t = 0;\n\tg0 = 3; g1 = 17; g2 = -4; u0 = 9; c0 = 5; s0 = 300;\n")
+	b.WriteString("\tarr[0] = 2; arr[5] = 11; bar[3] = 7;\n")
+	g := &pgen{r: r, maxCall: nfuncs, locals: []string{"t"}}
+	for s := 0; s < 3; s++ {
+		g.stmt(&b, 1)
+	}
+	for i := 0; i < nfuncs; i++ {
+		fmt.Fprintf(&b, "\tt = (t + f%d(t + %d, g%d)) %% 10007;\n", i, i+1, i%3)
+	}
+	b.WriteString("\treturn (t + g0 + g1 + g2 + c0 + s0 + arr[5] + bar[3]) % 100000;\n}\n")
+	return b.String()
+}
+
+// pgen generates statements and expressions for one function body.
+type pgen struct {
+	r       *rng
+	maxCall int // may call f0..f(maxCall-1)
+	locals  []string
+}
+
+func (g *pgen) lvalue() string {
+	switch g.r.intn(6) {
+	case 0:
+		return "g" + fmt.Sprint(g.r.intn(3))
+	case 1:
+		return g.r.pick(g.locals)
+	case 2:
+		return fmt.Sprintf("arr[(%s) & 15]", g.expr(1))
+	case 3:
+		return "c0"
+	case 4:
+		return "s0"
+	default:
+		return "u0"
+	}
+}
+
+func (g *pgen) stmt(b *strings.Builder, depth int) {
+	switch g.r.intn(7) {
+	case 0, 1:
+		fmt.Fprintf(b, "\t%s = %s;\n", g.lvalue(), g.expr(2))
+	case 2:
+		op := g.r.pick([]string{"+=", "-=", "*=", "^=", "|=", "&="})
+		fmt.Fprintf(b, "\t%s %s %s;\n", g.lvalue(), op, g.expr(1))
+	case 3:
+		if depth < 3 {
+			fmt.Fprintf(b, "\tif (%s) {\n", g.cond())
+			g.stmt(b, depth+1)
+			if g.r.intn(2) == 0 {
+				b.WriteString("\t} else {\n")
+				g.stmt(b, depth+1)
+			}
+			b.WriteString("\t}\n")
+			return
+		}
+		fmt.Fprintf(b, "\t%s = %s;\n", g.lvalue(), g.expr(1))
+	case 4:
+		if depth < 3 {
+			v := fmt.Sprintf("i%d", g.r.intn(1000))
+			fmt.Fprintf(b, "\t{ int %s; for (%s = 0; %s < %d; %s++) {\n", v, v, v, 2+g.r.intn(5), v)
+			g.stmt(b, depth+1)
+			b.WriteString("\t} }\n")
+			return
+		}
+		fmt.Fprintf(b, "\t%s = %s;\n", g.lvalue(), g.expr(1))
+	case 5:
+		fmt.Fprintf(b, "\t%s++;\n", g.r.pick(g.locals))
+	default:
+		fmt.Fprintf(b, "\t%s = %s;\n", g.r.pick(g.locals), g.expr(2))
+	}
+}
+
+func (g *pgen) cond() string {
+	rel := g.r.pick([]string{"<", "<=", ">", ">=", "==", "!="})
+	c := fmt.Sprintf("%s %s %s", g.expr(1), rel, g.expr(1))
+	switch g.r.intn(4) {
+	case 0:
+		return fmt.Sprintf("%s && %s %s %s", c, g.expr(1), g.r.pick([]string{"<", ">"}), g.expr(1))
+	case 1:
+		return fmt.Sprintf("%s || %s", c, g.expr(1))
+	case 2:
+		return "!(" + c + ")"
+	}
+	return c
+}
+
+func (g *pgen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.r.intn(12) {
+	case 0, 1:
+		return g.atom()
+	case 2:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.atom())
+	case 5:
+		// Guarded division: the divisor is odd and nonzero.
+		return fmt.Sprintf("(%s / ((%s & 7) | 1))", g.expr(depth-1), g.expr(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s %% ((%s & 15) | 1))", g.expr(depth-1), g.expr(depth-1))
+	case 7:
+		op := g.r.pick([]string{"&", "|", "^"})
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	case 8:
+		// Masked shifts stay in range.
+		op := g.r.pick([]string{"<<", ">>"})
+		return fmt.Sprintf("(%s %s (%s & 7))", g.expr(depth-1), op, g.expr(depth-1))
+	case 9:
+		return fmt.Sprintf("(%s ? %s : %s)", g.cond(), g.expr(depth-1), g.expr(depth-1))
+	case 10:
+		if g.maxCall > 0 && depth >= 2 {
+			return fmt.Sprintf("f%d(%s, %s)", g.r.intn(g.maxCall), g.expr(1), g.atom())
+		}
+		return fmt.Sprintf("(-(%s))", g.atom())
+	default:
+		rel := g.r.pick([]string{"<", ">", "=="})
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), rel, g.expr(depth-1))
+	}
+}
+
+func (g *pgen) atom() string {
+	switch g.r.intn(8) {
+	case 0:
+		return fmt.Sprint(g.r.intn(200) - 100)
+	case 1:
+		return "g" + fmt.Sprint(g.r.intn(3))
+	case 2:
+		return g.r.pick(g.locals)
+	case 3:
+		return fmt.Sprintf("arr[%d]", g.r.intn(16))
+	case 4:
+		return "c0"
+	case 5:
+		return "s0"
+	case 6:
+		return fmt.Sprintf("bar[%d]", g.r.intn(8))
+	default:
+		return fmt.Sprint(g.r.intn(40))
+	}
+}

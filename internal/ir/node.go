@@ -1,0 +1,256 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one node of an expression tree. Trees are built by a front end,
+// rewritten by the transformation phase, and consumed by the pattern
+// matcher in prefix-linearized form.
+type Node struct {
+	Op   Op
+	Type Type
+	Val  int64   // Const value, Dreg/RegUse register, Lab label id, Cmp relation, Call argument bytes
+	F    float64 // FConst value
+	Sym  string  // Name/Call symbol
+	Kids []*Node
+}
+
+// NewConst returns an integer constant node.
+func NewConst(t Type, v int64) *Node { return &Node{Op: Const, Type: t, Val: v} }
+
+// NewFConst returns a floating constant node.
+func NewFConst(t Type, v float64) *Node { return &Node{Op: FConst, Type: t, F: v} }
+
+// NewName returns a global-name (address) leaf typed by the data it
+// addresses.
+func NewName(t Type, sym string) *Node { return &Node{Op: Name, Type: t, Sym: sym} }
+
+// NewDreg returns a dedicated-register leaf.
+func NewDreg(t Type, reg int) *Node { return &Node{Op: Dreg, Type: t, Val: int64(reg)} }
+
+// NewLab returns a label-reference leaf.
+func NewLab(id int) *Node { return &Node{Op: Lab, Val: int64(id)} }
+
+// Un returns a unary node.
+func Un(op Op, t Type, kid *Node) *Node { return &Node{Op: op, Type: t, Kids: []*Node{kid}} }
+
+// Bin returns a binary node.
+func Bin(op Op, t Type, l, r *Node) *Node { return &Node{Op: op, Type: t, Kids: []*Node{l, r}} }
+
+// NewCmp returns a compare node carrying a relation code.
+func NewCmp(t Type, rel Rel, l, r *Node) *Node {
+	return &Node{Op: Cmp, Type: t, Val: int64(rel), Kids: []*Node{l, r}}
+}
+
+// NewCBranch returns a conditional branch to label on cond.
+func NewCBranch(cond *Node, label int) *Node {
+	return &Node{Op: CBranch, Kids: []*Node{cond, NewLab(label)}}
+}
+
+// Left returns the first child, or nil.
+func (n *Node) Left() *Node {
+	if len(n.Kids) > 0 {
+		return n.Kids[0]
+	}
+	return nil
+}
+
+// Right returns the second child, or nil.
+func (n *Node) Right() *Node {
+	if len(n.Kids) > 1 {
+		return n.Kids[1]
+	}
+	return nil
+}
+
+// Count returns the number of nodes in the tree. It is the measure the
+// reordering heuristic of §5.1.3 uses to decide which subtree is "more
+// complicated".
+func (n *Node) Count() int {
+	c := 1
+	for _, k := range n.Kids {
+		c += k.Count()
+	}
+	return c
+}
+
+// Clone returns a deep copy of the tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	m := *n
+	if n.Kids != nil {
+		m.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			m.Kids[i] = k.Clone()
+		}
+	}
+	return &m
+}
+
+// Walk calls f on every node of the tree in prefix order. If f returns
+// false the node's children are skipped.
+func (n *Node) Walk(f func(*Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	for _, k := range n.Kids {
+		k.Walk(f)
+	}
+}
+
+// Equal reports structural equality of two trees.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Op != m.Op || n.Type != m.Type || n.Val != m.Val || n.F != m.F ||
+		n.Sym != m.Sym || len(n.Kids) != len(m.Kids) {
+		return false
+	}
+	for i := range n.Kids {
+		if !n.Kids[i].Equal(m.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks operator arities and basic typing rules throughout the
+// tree, returning the first violation found.
+func (n *Node) Validate() error {
+	if n == nil {
+		return fmt.Errorf("ir: nil node")
+	}
+	a := n.Op.Arity()
+	switch {
+	case n.Op == Ret:
+		if len(n.Kids) > 1 {
+			return fmt.Errorf("ir: Ret with %d children", len(n.Kids))
+		}
+	case n.Op == Call:
+		// Any number of argument subtrees before phase 1a, none after.
+	case a != len(n.Kids):
+		return fmt.Errorf("ir: %v expects %d children, has %d", n.Op, a, len(n.Kids))
+	}
+	switch n.Op {
+	case Const:
+		if !n.Type.IsInteger() {
+			return fmt.Errorf("ir: Const with non-integer type %v", n.Type)
+		}
+	case FConst:
+		if !n.Type.IsFloat() {
+			return fmt.Errorf("ir: FConst with non-float type %v", n.Type)
+		}
+	case Name, Call:
+		if n.Sym == "" {
+			return fmt.Errorf("ir: %v without symbol", n.Op)
+		}
+	case CBranch:
+		if n.Kids[1].Op != Lab {
+			return fmt.Errorf("ir: CBranch target is %v, want Lab", n.Kids[1].Op)
+		}
+	case Jump:
+		if n.Kids[0].Op != Lab {
+			return fmt.Errorf("ir: Jump target is %v, want Lab", n.Kids[0].Op)
+		}
+	case Cmp:
+		if Rel(n.Val) > RGE {
+			return fmt.Errorf("ir: Cmp with bad relation %d", n.Val)
+		}
+	}
+	for _, k := range n.Kids {
+		if err := k.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the tree as an s-expression; see Parse for the format.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	if n == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	if len(n.Kids) == 0 {
+		b.WriteString(n.leafString())
+		return
+	}
+	b.WriteByte('(')
+	b.WriteString(n.head())
+	for _, k := range n.Kids {
+		b.WriteByte(' ')
+		k.write(b)
+	}
+	b.WriteByte(')')
+}
+
+func (n *Node) head() string {
+	s := n.Op.String()
+	if n.Type != Void {
+		s += "." + typeName(n.Type)
+	}
+	if n.Op == Cmp {
+		s += ":" + Rel(n.Val).String()
+	}
+	return s
+}
+
+func (n *Node) leafString() string {
+	switch n.Op {
+	case Const:
+		return fmt.Sprintf("(Const.%s %d)", typeName(n.Type), n.Val)
+	case FConst:
+		return fmt.Sprintf("(FConst.%s %g)", typeName(n.Type), n.F)
+	case Name:
+		return fmt.Sprintf("(Name.%s %s)", typeName(n.Type), n.Sym)
+	case Dreg:
+		return fmt.Sprintf("(Dreg.%s r%d)", typeName(n.Type), n.Val)
+	case Lab:
+		return fmt.Sprintf("(Lab L%d)", n.Val)
+	case Call:
+		return fmt.Sprintf("(Call.%s %s %d)", typeName(n.Type), n.Sym, n.Val)
+	case RegUse:
+		return fmt.Sprintf("(RegUse.%s r%d)", typeName(n.Type), n.Val)
+	}
+	return "(" + n.head() + ")"
+}
+
+// typeName is the short type name used in the textual tree format. Unlike
+// Suffix it distinguishes unsigned types.
+func typeName(t Type) string {
+	switch t {
+	case UByte:
+		return "ub"
+	case UWord:
+		return "uw"
+	case ULong:
+		return "ul"
+	case Void:
+		return "v"
+	}
+	return t.Suffix()
+}
+
+// typeByName is the inverse of typeName.
+func typeByName(s string) (Type, bool) {
+	switch s {
+	case "ub":
+		return UByte, true
+	case "uw":
+		return UWord, true
+	case "ul":
+		return ULong, true
+	}
+	return TypeBySuffix(s)
+}

@@ -1,0 +1,347 @@
+package ir
+
+import "fmt"
+
+// Op is an intermediate-language operator: a node label in the expression
+// trees for which code is generated. The operator set follows Figure 1 of
+// the paper plus the operators needed by the tree-transformation phase
+// (§5.1): explicit-control-flow forms, the reverse binary operators
+// introduced by evaluation reordering (§5.1.3), and the register-note trees
+// through which phase 1 communicates its register assignments to phase 3
+// (§5.3.3).
+type Op uint8
+
+const (
+	Nop Op = iota
+
+	// Leaves.
+	Const  // integer constant; Val holds the value
+	FConst // floating constant; F holds the value
+	Name   // address of a global variable; Sym holds the name
+	Dreg   // dedicated register; Val holds the register number
+	Lab    // label reference; Val holds the label id
+	Call   // function call; Sym holds the callee, Val the longword argument count; argument subtrees are its children until phase 1a hoists them into Arg statements
+	RegUse // value left in a register by phase 1; Val holds the register
+
+	// Unary operators.
+	Indir // memory fetch; the child is the address
+	Conv  // explicit type conversion from the child's type to Type
+	Neg   // arithmetic negation
+	Compl // bitwise complement
+	Not   // logical not (removed by phase 1a)
+	Arg   // push an argument for a pending call (created by phase 1a)
+	Ret   // return; zero or one child
+	Jump  // unconditional jump; child is Lab
+
+	// Binary operators.
+	Assign
+	Plus
+	Minus
+	Mul
+	Div
+	Mod
+	And
+	Or
+	Xor
+	Lsh
+	Rsh
+
+	// Relational operators; value-producing forms are rewritten by phase
+	// 1a, and forms under CBranch are canonicalized to Cmp by phase 1b.
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+
+	// Short-circuit operators (removed by phase 1a).
+	AndAnd
+	OrOr
+
+	// Increment/decrement binary operators (left child the location, right
+	// child the constant amount). Only these generate the autoincrement
+	// addressing mode, and then only on dedicated registers (§6.1).
+	PostInc
+	PostDec
+	PreInc
+	PreDec
+
+	// Reverse binary operators: introduced by phase 1c when the operands of
+	// a non-commutative operator are swapped so that the more complicated
+	// subtree is evaluated first (§5.1.3). The instruction generator swaps
+	// the computed values back.
+	RMinus
+	RDiv
+	RMod
+	RLsh
+	RRsh
+	RAssign
+
+	// Control flow.
+	CBranch // conditional branch; kids: Cmp node, Lab
+	Cmp     // compare; Val holds the Rel relation code
+	Select  // ?: selection; three kids (removed by phase 1a)
+
+	opMax
+)
+
+// Rel is the relation code carried in the Val field of a Cmp node.
+type Rel int64
+
+// Relation codes.
+const (
+	REQ Rel = iota
+	RNE
+	RLT
+	RLE
+	RGT
+	RGE
+)
+
+// Negate returns the complementary relation.
+func (r Rel) Negate() Rel {
+	switch r {
+	case REQ:
+		return RNE
+	case RNE:
+		return REQ
+	case RLT:
+		return RGE
+	case RLE:
+		return RGT
+	case RGT:
+		return RLE
+	case RGE:
+		return RLT
+	}
+	return r
+}
+
+// Swap returns the relation that holds when the operands are exchanged.
+func (r Rel) Swap() Rel {
+	switch r {
+	case RLT:
+		return RGT
+	case RLE:
+		return RGE
+	case RGT:
+		return RLT
+	case RGE:
+		return RLE
+	}
+	return r
+}
+
+func (r Rel) String() string {
+	switch r {
+	case REQ:
+		return "eq"
+	case RNE:
+		return "ne"
+	case RLT:
+		return "lt"
+	case RLE:
+		return "le"
+	case RGT:
+		return "gt"
+	case RGE:
+		return "ge"
+	}
+	return fmt.Sprintf("Rel(%d)", int64(r))
+}
+
+var opNames = [...]string{
+	Nop:     "Nop",
+	Const:   "Const",
+	FConst:  "FConst",
+	Name:    "Name",
+	Dreg:    "Dreg",
+	Lab:     "Lab",
+	Call:    "Call",
+	RegUse:  "RegUse",
+	Indir:   "Indir",
+	Conv:    "Conv",
+	Neg:     "Neg",
+	Compl:   "Compl",
+	Not:     "Not",
+	Arg:     "Arg",
+	Ret:     "Ret",
+	Jump:    "Jump",
+	Assign:  "Assign",
+	Plus:    "Plus",
+	Minus:   "Minus",
+	Mul:     "Mul",
+	Div:     "Div",
+	Mod:     "Mod",
+	And:     "And",
+	Or:      "Or",
+	Xor:     "Xor",
+	Lsh:     "Lsh",
+	Rsh:     "Rsh",
+	Eq:      "Eq",
+	Ne:      "Ne",
+	Lt:      "Lt",
+	Le:      "Le",
+	Gt:      "Gt",
+	Ge:      "Ge",
+	AndAnd:  "AndAnd",
+	OrOr:    "OrOr",
+	PostInc: "PostInc",
+	PostDec: "PostDec",
+	PreInc:  "PreInc",
+	PreDec:  "PreDec",
+	RMinus:  "RMinus",
+	RDiv:    "RDiv",
+	RMod:    "RMod",
+	RLsh:    "RLsh",
+	RRsh:    "RRsh",
+	RAssign: "RAssign",
+	CBranch: "CBranch",
+	Cmp:     "Cmp",
+	Select:  "Select",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// opArity maps each operator to its child count; -1 means variable
+// (Ret takes zero or one child).
+var opArity = [opMax]int8{
+	Nop:     0,
+	Const:   0,
+	FConst:  0,
+	Name:    0,
+	Dreg:    0,
+	Lab:     0,
+	Call:    -1, // argument subtrees before phase 1a, none after
+	RegUse:  0,
+	Indir:   1,
+	Conv:    1,
+	Neg:     1,
+	Compl:   1,
+	Not:     1,
+	Arg:     1,
+	Ret:     -1,
+	Jump:    1,
+	Assign:  2,
+	Plus:    2,
+	Minus:   2,
+	Mul:     2,
+	Div:     2,
+	Mod:     2,
+	And:     2,
+	Or:      2,
+	Xor:     2,
+	Lsh:     2,
+	Rsh:     2,
+	Eq:      2,
+	Ne:      2,
+	Lt:      2,
+	Le:      2,
+	Gt:      2,
+	Ge:      2,
+	AndAnd:  2,
+	OrOr:    2,
+	PostInc: 2,
+	PostDec: 2,
+	PreInc:  2,
+	PreDec:  2,
+	RMinus:  2,
+	RDiv:    2,
+	RMod:    2,
+	RLsh:    2,
+	RRsh:    2,
+	RAssign: 2,
+	CBranch: 2,
+	Cmp:     2,
+	Select:  3,
+}
+
+// Arity returns the number of children op requires, or -1 if variable
+// (Ret takes zero or one child; Call any number before phase 1a).
+func (op Op) Arity() int {
+	if op >= opMax {
+		return 0
+	}
+	return int(opArity[op])
+}
+
+// IsLeaf reports whether op takes no children.
+func (op Op) IsLeaf() bool { return op.Arity() == 0 }
+
+// IsRelational reports whether op is one of the six relational operators.
+func (op Op) IsRelational() bool { return op >= Eq && op <= Ge }
+
+// Rel returns the relation code for a relational operator.
+func (op Op) Rel() Rel {
+	switch op {
+	case Eq:
+		return REQ
+	case Ne:
+		return RNE
+	case Lt:
+		return RLT
+	case Le:
+		return RLE
+	case Gt:
+		return RGT
+	case Ge:
+		return RGE
+	}
+	panic("ir: Rel of non-relational operator " + op.String())
+}
+
+// IsCommutative reports whether the operator's operands may be exchanged
+// without changing the result.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case Plus, Mul, And, Or, Xor, Eq, Ne:
+		return true
+	}
+	return false
+}
+
+// Reverse returns the reverse form of a non-commutative binary operator and
+// whether one exists (§5.1.3).
+func (op Op) Reverse() (Op, bool) {
+	switch op {
+	case Minus:
+		return RMinus, true
+	case Div:
+		return RDiv, true
+	case Mod:
+		return RMod, true
+	case Lsh:
+		return RLsh, true
+	case Rsh:
+		return RRsh, true
+	case Assign:
+		return RAssign, true
+	}
+	return op, false
+}
+
+// Forward returns the ordinary form of a reverse operator and whether op was
+// a reverse operator.
+func (op Op) Forward() (Op, bool) {
+	switch op {
+	case RMinus:
+		return Minus, true
+	case RDiv:
+		return Div, true
+	case RMod:
+		return Mod, true
+	case RLsh:
+		return Lsh, true
+	case RRsh:
+		return Rsh, true
+	case RAssign:
+		return Assign, true
+	}
+	return op, false
+}

@@ -1,0 +1,236 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a tree from its s-expression form, the same form String
+// produces, e.g.
+//
+//	(Assign.l (Name.l a) (Plus.l (Const.b 27) (Indir.b (Plus.l (Const.b 8) (Dreg.l fp)))))
+//
+// Heads are OpName[.type][:rel]; leaves take their attribute arguments as
+// atoms. The dedicated registers may be written fp, ap, sp or rN.
+func Parse(src string) (*Node, error) {
+	p := &treeParser{src: src}
+	n, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("ir: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return n, nil
+}
+
+// MustParse is Parse for known-good inputs in tests and examples; it panics
+// on error.
+func MustParse(src string) *Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type treeParser struct {
+	src string
+	pos int
+}
+
+func (p *treeParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *treeParser) atom() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *treeParser) parse() (*Node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("ir: unexpected end of input")
+	}
+	if p.src[p.pos] != '(' {
+		return nil, fmt.Errorf("ir: expected '(' at %d", p.pos)
+	}
+	p.pos++
+	p.skipSpace()
+	head := p.atom()
+	if head == "" {
+		return nil, fmt.Errorf("ir: empty head at %d", p.pos)
+	}
+	n, err := nodeFromHead(head)
+	if err != nil {
+		return nil, err
+	}
+	// Leaf attribute atoms.
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("ir: unterminated list")
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		if p.src[p.pos] == '(' {
+			kid, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			n.Kids = append(n.Kids, kid)
+			continue
+		}
+		if err := applyAtom(n, p.atom()); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkArity(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func checkArity(n *Node) error {
+	a := n.Op.Arity()
+	if n.Op == Ret {
+		if len(n.Kids) > 1 {
+			return fmt.Errorf("ir: Ret with %d children", len(n.Kids))
+		}
+		return nil
+	}
+	if n.Op == Call {
+		return nil
+	}
+	if a != len(n.Kids) {
+		return fmt.Errorf("ir: %v expects %d children, has %d", n.Op, a, len(n.Kids))
+	}
+	return nil
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+var relByName = map[string]Rel{
+	"eq": REQ, "ne": RNE, "lt": RLT, "le": RLE, "gt": RGT, "ge": RGE,
+}
+
+func nodeFromHead(head string) (*Node, error) {
+	rest := head
+	var relStr string
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		relStr = rest[i+1:]
+		rest = rest[:i]
+	}
+	var typeStr string
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		typeStr = rest[i+1:]
+		rest = rest[:i]
+	}
+	op, ok := opByName[rest]
+	if !ok {
+		return nil, fmt.Errorf("ir: unknown operator %q", rest)
+	}
+	n := &Node{Op: op}
+	if typeStr != "" {
+		t, ok := typeByName(typeStr)
+		if !ok {
+			return nil, fmt.Errorf("ir: unknown type %q in %q", typeStr, head)
+		}
+		n.Type = t
+	}
+	if relStr != "" {
+		r, ok := relByName[relStr]
+		if !ok {
+			return nil, fmt.Errorf("ir: unknown relation %q in %q", relStr, head)
+		}
+		n.Val = int64(r)
+	}
+	return n, nil
+}
+
+// dedicatedByName maps the conventional dedicated-register names.
+var dedicatedByName = map[string]int{"ap": 12, "fp": 13, "sp": 14, "pc": 15}
+
+func applyAtom(n *Node, atom string) error {
+	switch n.Op {
+	case Const:
+		v, err := strconv.ParseInt(atom, 10, 64)
+		if err != nil {
+			return fmt.Errorf("ir: bad constant %q: %v", atom, err)
+		}
+		n.Val = v
+	case FConst:
+		f, err := strconv.ParseFloat(atom, 64)
+		if err != nil {
+			return fmt.Errorf("ir: bad float constant %q: %v", atom, err)
+		}
+		n.F = f
+	case Name:
+		n.Sym = atom
+	case Dreg, RegUse:
+		r, err := parseReg(atom)
+		if err != nil {
+			return err
+		}
+		n.Val = int64(r)
+	case Lab:
+		s := strings.TrimPrefix(atom, "L")
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("ir: bad label %q: %v", atom, err)
+		}
+		n.Val = v
+	case Call:
+		if n.Sym == "" {
+			n.Sym = atom
+			return nil
+		}
+		v, err := strconv.ParseInt(atom, 10, 64)
+		if err != nil {
+			return fmt.Errorf("ir: bad call argument count %q: %v", atom, err)
+		}
+		n.Val = v
+	default:
+		return fmt.Errorf("ir: %v takes no attribute atom %q", n.Op, atom)
+	}
+	return nil
+}
+
+func parseReg(atom string) (int, error) {
+	if r, ok := dedicatedByName[atom]; ok {
+		return r, nil
+	}
+	s := strings.TrimPrefix(atom, "r")
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 || v > 15 {
+		return 0, fmt.Errorf("ir: bad register %q", atom)
+	}
+	return v, nil
+}

@@ -1,0 +1,175 @@
+package ir
+
+// Token is one terminal symbol of the prefix linearization of a tree,
+// together with the node it came from. The pattern matcher parses a tree's
+// token string; semantic routines read attributes from the node.
+type Token struct {
+	Term string
+	N    *Node
+}
+
+// Special-constant terminal names (§6.3). The constants 0, 1, 2, 4 and 8
+// get their own terminal symbols because of the importance they play in
+// comparisons and address construction; the replacement of the semantic
+// constraint by a syntactic one is what lets the typed addressing modes be
+// selected without semantic blocking.
+var specialConst = map[int64]string{
+	0: "Zero",
+	1: "One",
+	2: "Two",
+	4: "Four",
+	8: "Eight",
+}
+
+// SpecialConstTerms lists the special-constant terminal names.
+var SpecialConstTerms = []string{"Zero", "One", "Two", "Four", "Eight"}
+
+// SpecialConstValue returns the value of a special-constant terminal.
+func SpecialConstValue(term string) (int64, bool) {
+	for v, s := range specialConst {
+		if s == term {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Precomputed terminal names, so linearization does not concatenate
+// strings in the code generator's inner loop.
+const nTypes = int(ULong) + 1
+
+var opTermNames = func() [opMax][nTypes]string {
+	var t [opMax][nTypes]string
+	for op := Op(0); op < opMax; op++ {
+		for ty := Type(0); ty < Type(nTypes); ty++ {
+			t[op][ty] = op.String() + "." + ty.Suffix()
+		}
+	}
+	return t
+}()
+
+var constTermNames = func() [nTypes]string {
+	var t [nTypes]string
+	for ty := Type(0); ty < Type(nTypes); ty++ {
+		t[ty] = "Const." + ty.Suffix()
+	}
+	return t
+}()
+
+var cvtTermNames = func() [nTypes][nTypes]string {
+	var t [nTypes][nTypes]string
+	for from := Type(0); from < Type(nTypes); from++ {
+		for to := Type(0); to < Type(nTypes); to++ {
+			t[from][to] = "Cvt." + from.Suffix() + to.Suffix()
+		}
+	}
+	return t
+}()
+
+// TermOf returns the terminal symbol name for a node: the operator name
+// suffixed with its machine type ("Plus.l"), except for the untyped
+// terminals Label, CBranch, Jump and the special constants, and for Cvt
+// which encodes both the source and destination types ("Cvt.bl").
+func TermOf(n *Node) string {
+	switch n.Op {
+	case Const:
+		if s, ok := specialConst[n.Val]; ok {
+			return s
+		}
+		return constTermNames[n.Type]
+	case FConst:
+		return constTermNames[n.Type]
+	case Lab:
+		return "Label"
+	case CBranch:
+		return "CBranch"
+	case Jump:
+		return "Jump"
+	case Conv:
+		return cvtTermNames[n.Kids[0].Type][n.Type]
+	}
+	return opTermNames[n.Op][n.Type]
+}
+
+// Linearize returns the prefix linearization of the tree: the terminal
+// string the pattern matcher parses (§3.1).
+func Linearize(n *Node) []Token {
+	toks := make([]Token, 0, n.Count())
+	n.Walk(func(m *Node) bool {
+		toks = append(toks, Token{Term: TermOf(m), N: m})
+		return true
+	})
+	return toks
+}
+
+// TermArity returns the number of operand subtrees following a terminal in
+// the prefix linearization, i.e. the arity of the operator it names. It
+// reports false for names that are not terminals of this intermediate
+// language. Machine description grammars use it to check that every right
+// hand side is a well-formed flattened tree (§4).
+func TermArity(term string) (int, bool) {
+	if _, ok := SpecialConstValue(term); ok {
+		return 0, true
+	}
+	switch term {
+	case "Label":
+		return 0, true
+	case "CBranch":
+		return 2, true
+	case "Jump":
+		return 1, true
+	case "Ret.v":
+		return 0, true
+	}
+	if len(term) > 5 && term[:5] == "Call." {
+		return 0, true // after phase 1a a call is a leaf
+	}
+	base := term
+	if i := indexByte(base, '.'); i >= 0 {
+		suffix := base[i+1:]
+		base = base[:i]
+		if base == "Cvt" {
+			if len(suffix) != 2 {
+				return 0, false
+			}
+			return 1, true
+		}
+		if _, ok := TypeBySuffix(suffix); !ok {
+			return 0, false
+		}
+	}
+	op, ok := opByName[base]
+	if !ok {
+		return 0, false
+	}
+	a := op.Arity()
+	if a < 0 {
+		a = 1 // Ret.t has one child; value-less returns use Ret.v with none
+	}
+	if term == "Ret.v" {
+		a = 0
+	}
+	return a, true
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// TermString renders a token slice as a space-separated string, useful in
+// tests and diagnostics.
+func TermString(toks []Token) string {
+	s := ""
+	for i, t := range toks {
+		if i > 0 {
+			s += " "
+		}
+		s += t.Term
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+// Package ir defines the intermediate representation consumed by the code
+// generators: a forest of typed expression trees in the style of the UNIX
+// Portable C Compiler, as described in §2 and Figure 1 of Graham, Henry and
+// Schulman, "An Experiment in Table Driven Code Generation" (PLDI 1982).
+//
+// The package also provides the prefix linearization of trees into terminal
+// tokens for the pattern matcher (§3.1), including the special constant
+// terminals Zero/One/Two/Four/Eight that the paper introduces so that typed
+// addressing can be handled syntactically (§6.3).
+package ir
+
+import "fmt"
+
+// Type is a machine data type. The signed integer types Byte, Word and Long
+// correspond to the VAX data sizes 1, 2 and 4; Float and Double to the F and
+// D floating formats. Unsigned integer types share the machine suffix of
+// their signed counterpart: unsignedness is a semantic attribute in this
+// implementation (the grammar types operands syntactically by size only,
+// mirroring the paper's partially semantic treatment of unsigned data, §6.5).
+type Type uint8
+
+// Machine data types.
+const (
+	Void Type = iota
+	Byte
+	Word
+	Long
+	Float
+	Double
+	UByte
+	UWord
+	ULong
+)
+
+// Ptr is the type of an address. On the VAX addresses are longs.
+const Ptr = Long
+
+// Size returns the size of the type in bytes.
+func (t Type) Size() int {
+	switch t {
+	case Byte, UByte:
+		return 1
+	case Word, UWord:
+		return 2
+	case Long, ULong, Float:
+		return 4
+	case Double:
+		return 8
+	}
+	return 0
+}
+
+// Suffix returns the one-letter VAX instruction suffix for the type
+// ("b", "w", "l", "f" or "d"). Unsigned types map to the suffix of their
+// size; Void maps to "v" (used only for value-less calls).
+func (t Type) Suffix() string {
+	switch t {
+	case Byte, UByte:
+		return "b"
+	case Word, UWord:
+		return "w"
+	case Long, ULong:
+		return "l"
+	case Float:
+		return "f"
+	case Double:
+		return "d"
+	case Void:
+		return "v"
+	}
+	return "?"
+}
+
+// Machine returns the machine type used for instruction selection: the
+// signed type of the same size. Unsignedness is handled semantically.
+func (t Type) Machine() Type {
+	switch t {
+	case UByte:
+		return Byte
+	case UWord:
+		return Word
+	case ULong:
+		return Long
+	}
+	return t
+}
+
+// IsFloat reports whether t is a floating type.
+func (t Type) IsFloat() bool { return t == Float || t == Double }
+
+// IsUnsigned reports whether t is an unsigned integer type.
+func (t Type) IsUnsigned() bool { return t == UByte || t == UWord || t == ULong }
+
+// IsInteger reports whether t is an integer type (signed or unsigned).
+func (t Type) IsInteger() bool {
+	switch t {
+	case Byte, Word, Long, UByte, UWord, ULong:
+		return true
+	}
+	return false
+}
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case Byte:
+		return "byte"
+	case Word:
+		return "word"
+	case Long:
+		return "long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case UByte:
+		return "ubyte"
+	case UWord:
+		return "uword"
+	case ULong:
+		return "ulong"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// TypeBySuffix returns the signed machine type for a one-letter suffix as
+// used in the machine description grammar.
+func TypeBySuffix(s string) (Type, bool) {
+	switch s {
+	case "b":
+		return Byte, true
+	case "w":
+		return Word, true
+	case "l":
+		return Long, true
+	case "f":
+		return Float, true
+	case "d":
+		return Double, true
+	case "v":
+		return Void, true
+	}
+	return Void, false
+}
+
+// MachineTypes lists the machine types over which the description grammar is
+// replicated, in conventional order.
+var MachineTypes = []Type{Byte, Word, Long, Float, Double}
+
+// IntegerTypes lists the signed integer machine types.
+var IntegerTypes = []Type{Byte, Word, Long}

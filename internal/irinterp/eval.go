@@ -1,0 +1,584 @@
+package irinterp
+
+import (
+	"fmt"
+	"math"
+
+	"ggcg/internal/ir"
+)
+
+func (ip *Interp) step() error {
+	if ip.Steps++; ip.Steps > ip.MaxSteps {
+		return fmt.Errorf("step limit %d exceeded", ip.MaxSteps)
+	}
+	return nil
+}
+
+// lval is a resolved assignable location: a memory address or a register.
+type lval struct {
+	isReg bool
+	reg   int
+	addr  uint32
+}
+
+func (ip *Interp) lvalue(n *ir.Node) (lval, error) {
+	switch n.Op {
+	case ir.Name:
+		a, ok := ip.globals[n.Sym]
+		if !ok {
+			return lval{}, fmt.Errorf("undefined global %q", n.Sym)
+		}
+		return lval{addr: a}, nil
+	case ir.Indir:
+		a, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return lval{}, err
+		}
+		return lval{addr: uint32(a)}, nil
+	case ir.Dreg, ir.RegUse:
+		return lval{isReg: true, reg: int(n.Val)}, nil
+	}
+	return lval{}, fmt.Errorf("%v is not an lvalue", n.Op)
+}
+
+func (ip *Interp) loadInt(l lval, t ir.Type) int64 {
+	if l.isReg {
+		return extend(uint64(ip.regs[l.reg]), t)
+	}
+	return extend(ip.loadMem(l.addr, t.Size()), t)
+}
+
+func (ip *Interp) storeInt(l lval, t ir.Type, v int64) {
+	if l.isReg {
+		switch t.Size() {
+		case 1:
+			ip.regs[l.reg] = ip.regs[l.reg]&^0xff | uint32(uint8(v))
+		case 2:
+			ip.regs[l.reg] = ip.regs[l.reg]&^0xffff | uint32(uint16(v))
+		default:
+			ip.regs[l.reg] = uint32(v)
+		}
+		return
+	}
+	ip.storeMem(l.addr, t.Size(), uint64(v))
+}
+
+func (ip *Interp) loadFloat(l lval, t ir.Type) float64 {
+	if l.isReg {
+		if t == ir.Float {
+			return float64(math.Float32frombits(ip.regs[l.reg]))
+		}
+		return math.Float64frombits(uint64(ip.regs[l.reg]) | uint64(ip.regs[l.reg+1])<<32)
+	}
+	if t == ir.Float {
+		return float64(math.Float32frombits(uint32(ip.loadMem(l.addr, 4))))
+	}
+	return math.Float64frombits(ip.loadMem(l.addr, 8))
+}
+
+func (ip *Interp) storeFloat(l lval, t ir.Type, v float64) {
+	if l.isReg {
+		if t == ir.Float {
+			ip.regs[l.reg] = math.Float32bits(float32(v))
+			return
+		}
+		bits := math.Float64bits(v)
+		ip.regs[l.reg] = uint32(bits)
+		ip.regs[l.reg+1] = uint32(bits >> 32)
+		return
+	}
+	if t == ir.Float {
+		ip.storeMem(l.addr, 4, uint64(math.Float32bits(float32(v))))
+		return
+	}
+	ip.storeMem(l.addr, 8, math.Float64bits(v))
+}
+
+func (ip *Interp) setRetF(t ir.Type, v float64) {
+	ip.storeFloat(lval{isReg: true, reg: 0}, t, v)
+}
+
+func (ip *Interp) loadMem(addr uint32, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(ip.mem[(addr+uint32(i))%uint32(len(ip.mem))]) << (8 * i)
+	}
+	return v
+}
+
+func (ip *Interp) storeMem(addr uint32, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		ip.mem[(addr+uint32(i))%uint32(len(ip.mem))] = byte(v >> (8 * i))
+	}
+}
+
+func (ip *Interp) push32(v uint32) {
+	ip.regs[ir.RegSP] -= 4
+	ip.storeMem(ip.regs[ir.RegSP], 4, uint64(v))
+}
+
+// extend interprets raw bytes as a value of type t: sign-extended for
+// signed types, zero-extended for unsigned ones.
+func extend(raw uint64, t ir.Type) int64 {
+	switch t.Size() {
+	case 1:
+		if t.IsUnsigned() {
+			return int64(uint8(raw))
+		}
+		return int64(int8(raw))
+	case 2:
+		if t.IsUnsigned() {
+			return int64(uint16(raw))
+		}
+		return int64(int16(raw))
+	default:
+		if t.IsUnsigned() {
+			return int64(uint32(raw))
+		}
+		return int64(int32(raw))
+	}
+}
+
+// trunc truncates an arithmetic result to type t's value range.
+func trunc(v int64, t ir.Type) int64 {
+	return extend(uint64(v), t)
+}
+
+// shiftLeft implements the machine's ashl semantics for positive counts.
+func shiftLeft(v, cnt int64) int64 {
+	if cnt >= 32 {
+		return 0
+	}
+	if cnt <= -32 {
+		return v >> 31
+	}
+	if cnt < 0 {
+		return v >> uint(-cnt)
+	}
+	return v << uint(cnt)
+}
+
+// eval evaluates an integer-typed expression, returning its value in the
+// type's range.
+func (ip *Interp) eval(n *ir.Node) (int64, error) {
+	if err := ip.step(); err != nil {
+		return 0, err
+	}
+	t := n.Type
+	switch n.Op {
+	case ir.Const:
+		return trunc(n.Val, t), nil
+	case ir.Name:
+		a, ok := ip.globals[n.Sym]
+		if !ok {
+			return 0, fmt.Errorf("undefined global %q", n.Sym)
+		}
+		return int64(a), nil
+	case ir.Dreg, ir.RegUse:
+		return extend(uint64(ip.regs[n.Val]), t), nil
+	case ir.Indir:
+		a, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		return ip.loadInt(lval{addr: uint32(a)}, t), nil
+	case ir.Conv:
+		if n.Kids[0].Type.IsFloat() {
+			f, err := ip.evalF(n.Kids[0])
+			if err != nil {
+				return 0, err
+			}
+			return trunc(int64(f), t), nil
+		}
+		v, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		return trunc(v, t), nil
+	case ir.Neg:
+		v, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		return trunc(-v, t), nil
+	case ir.Compl:
+		v, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		return trunc(^v, t), nil
+	case ir.Not:
+		v, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case ir.Plus, ir.Minus, ir.Mul, ir.Div, ir.Mod, ir.And, ir.Or, ir.Xor, ir.Lsh, ir.Rsh,
+		ir.RMinus, ir.RDiv, ir.RMod, ir.RLsh, ir.RRsh:
+		return ip.evalBin(n)
+	case ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		ct := n.Type
+		if ct == ir.Void {
+			ct = relType(n)
+		}
+		b, err := ip.compare(n.Op.Rel(), n.Kids[0], n.Kids[1], ct)
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			return 1, nil
+		}
+		return 0, nil
+	case ir.AndAnd, ir.OrOr:
+		l, err := ip.evalCond(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		if n.Op == ir.AndAnd && !l {
+			return 0, nil
+		}
+		if n.Op == ir.OrOr && l {
+			return 1, nil
+		}
+		r, err := ip.evalCond(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		if r {
+			return 1, nil
+		}
+		return 0, nil
+	case ir.Select:
+		c, err := ip.evalCond(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		if c {
+			return ip.eval(n.Kids[1])
+		}
+		return ip.eval(n.Kids[2])
+	case ir.Assign, ir.RAssign:
+		dst, src := n.Kids[0], n.Kids[1]
+		if n.Op == ir.RAssign {
+			dst, src = n.Kids[1], n.Kids[0]
+		}
+		var v int64
+		var err error
+		if src.Type.IsFloat() && !t.IsFloat() {
+			var f float64
+			f, err = ip.evalF(src)
+			v = int64(f)
+		} else {
+			v, err = ip.eval(src)
+		}
+		if err != nil {
+			return 0, err
+		}
+		l, err := ip.lvalue(dst)
+		if err != nil {
+			return 0, err
+		}
+		v = trunc(v, t)
+		ip.storeInt(l, t, v)
+		return v, nil
+	case ir.PostInc, ir.PostDec, ir.PreInc, ir.PreDec:
+		l, err := ip.lvalue(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		amt, err := ip.eval(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		old := ip.loadInt(l, t)
+		delta := amt
+		if n.Op == ir.PostDec || n.Op == ir.PreDec {
+			delta = -amt
+		}
+		nv := trunc(old+delta, t)
+		ip.storeInt(l, t, nv)
+		if n.Op == ir.PostInc || n.Op == ir.PostDec {
+			return old, nil
+		}
+		return nv, nil
+	case ir.Call:
+		if err := ip.call(n); err != nil {
+			return 0, err
+		}
+		return extend(uint64(ip.regs[0]), t), nil
+	}
+	return 0, fmt.Errorf("cannot evaluate %v as integer", n.Op)
+}
+
+func (ip *Interp) evalBin(n *ir.Node) (int64, error) {
+	op := n.Op
+	if fwd, isRev := op.Forward(); isRev {
+		// Reverse operators: the left subtree holds the (textually) right
+		// operand, evaluated first (§5.1.3).
+		b, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		a, err := ip.eval(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		return ip.applyBin(fwd, n.Type, a, b)
+	}
+	a, err := ip.eval(n.Kids[0])
+	if err != nil {
+		return 0, err
+	}
+	b, err := ip.eval(n.Kids[1])
+	if err != nil {
+		return 0, err
+	}
+	return ip.applyBin(op, n.Type, a, b)
+}
+
+func (ip *Interp) applyBin(op ir.Op, t ir.Type, a, b int64) (int64, error) {
+	switch op {
+	case ir.Plus:
+		return trunc(a+b, t), nil
+	case ir.Minus:
+		return trunc(a-b, t), nil
+	case ir.Mul:
+		return trunc(a*b, t), nil
+	case ir.Div:
+		if b == 0 {
+			return 0, fmt.Errorf("divide by zero")
+		}
+		if t.IsUnsigned() {
+			return trunc(int64(uint32(a)/uint32(b)), t), nil
+		}
+		return trunc(a/b, t), nil
+	case ir.Mod:
+		if b == 0 {
+			return 0, fmt.Errorf("modulus by zero")
+		}
+		if t.IsUnsigned() {
+			return trunc(int64(uint32(a)%uint32(b)), t), nil
+		}
+		return trunc(a%b, t), nil
+	case ir.And:
+		return trunc(a&b, t), nil
+	case ir.Or:
+		return trunc(a|b, t), nil
+	case ir.Xor:
+		return trunc(a^b, t), nil
+	case ir.Lsh:
+		return trunc(shiftLeft(a, b), t), nil
+	case ir.Rsh:
+		if t.IsUnsigned() {
+			if b >= 32 || b < 0 {
+				return 0, nil
+			}
+			return trunc(int64(uint32(a)>>uint(b)), t), nil
+		}
+		return trunc(shiftLeft(a, -b), t), nil
+	}
+	return 0, fmt.Errorf("bad binary operator %v", op)
+}
+
+// evalF evaluates an expression in floating context. Integer-typed
+// subtrees are evaluated as integers and widened, the way the grammar's
+// conversion chains widen them.
+func (ip *Interp) evalF(n *ir.Node) (float64, error) {
+	if err := ip.step(); err != nil {
+		return 0, err
+	}
+	if n.Type.IsInteger() {
+		v, err := ip.eval(n)
+		return float64(v), err
+	}
+	switch n.Op {
+	case ir.FConst:
+		return roundTo(n.F, n.Type), nil
+	case ir.Const:
+		// An integer constant in floating context; the grammar converts
+		// these through the chain productions.
+		return float64(n.Val), nil
+	case ir.Indir:
+		a, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		return ip.loadFloat(lval{addr: uint32(a)}, n.Type), nil
+	case ir.Dreg, ir.RegUse:
+		return ip.loadFloat(lval{isReg: true, reg: int(n.Val)}, n.Type), nil
+	case ir.Conv:
+		if n.Kids[0].Type.IsFloat() {
+			v, err := ip.evalF(n.Kids[0])
+			if err != nil {
+				return 0, err
+			}
+			return roundTo(v, n.Type), nil
+		}
+		v, err := ip.eval(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		return roundTo(float64(v), n.Type), nil
+	case ir.Neg:
+		v, err := ip.evalF(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		return -v, nil
+	case ir.Plus, ir.Minus, ir.Mul, ir.Div, ir.RMinus, ir.RDiv:
+		op := n.Op
+		l, r := n.Kids[0], n.Kids[1]
+		if fwd, isRev := op.Forward(); isRev {
+			op = fwd
+			a, err := ip.evalF(l) // evaluated first, but it is the right operand
+			if err != nil {
+				return 0, err
+			}
+			b, err := ip.evalF(r)
+			if err != nil {
+				return 0, err
+			}
+			return applyBinF(op, n.Type, b, a)
+		}
+		a, err := ip.evalF(l)
+		if err != nil {
+			return 0, err
+		}
+		b, err := ip.evalF(r)
+		if err != nil {
+			return 0, err
+		}
+		return applyBinF(op, n.Type, a, b)
+	case ir.Select:
+		c, err := ip.evalCond(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		if c {
+			return ip.evalF(n.Kids[1])
+		}
+		return ip.evalF(n.Kids[2])
+	case ir.Assign, ir.RAssign:
+		dst, src := n.Kids[0], n.Kids[1]
+		if n.Op == ir.RAssign {
+			dst, src = n.Kids[1], n.Kids[0]
+		}
+		var v float64
+		var err error
+		if src.Type.IsFloat() {
+			v, err = ip.evalF(src)
+		} else {
+			var iv int64
+			iv, err = ip.eval(src)
+			v = float64(iv)
+		}
+		if err != nil {
+			return 0, err
+		}
+		l, err := ip.lvalue(dst)
+		if err != nil {
+			return 0, err
+		}
+		v = roundTo(v, n.Type)
+		ip.storeFloat(l, n.Type, v)
+		return v, nil
+	case ir.Call:
+		if err := ip.call(n); err != nil {
+			return 0, err
+		}
+		return ip.loadFloat(lval{isReg: true, reg: 0}, n.Type), nil
+	}
+	return 0, fmt.Errorf("cannot evaluate %v as floating", n.Op)
+}
+
+func applyBinF(op ir.Op, t ir.Type, a, b float64) (float64, error) {
+	switch op {
+	case ir.Plus:
+		return roundTo(a+b, t), nil
+	case ir.Minus:
+		return roundTo(a-b, t), nil
+	case ir.Mul:
+		return roundTo(a*b, t), nil
+	case ir.Div:
+		if b == 0 {
+			return 0, fmt.Errorf("floating divide by zero")
+		}
+		return roundTo(a/b, t), nil
+	}
+	return 0, fmt.Errorf("bad floating operator %v", op)
+}
+
+// roundTo rounds a double value through float32 when the type is Float, so
+// the oracle sees the same precision the 4-byte machine operations do.
+func roundTo(v float64, t ir.Type) float64 {
+	if t == ir.Float {
+		return float64(float32(v))
+	}
+	return v
+}
+
+// call invokes a Call node. Before phase 1a the arguments are the node's
+// children, evaluated right to left; afterwards the call is a leaf and its
+// Val words have already been pushed by Arg statements.
+func (ip *Interp) call(n *ir.Node) error {
+	if len(n.Kids) > 0 {
+		var words []uint32
+		for i := len(n.Kids) - 1; i >= 0; i-- {
+			k := n.Kids[i]
+			if k.Type.IsFloat() {
+				v, err := ip.evalF(k)
+				if err != nil {
+					return err
+				}
+				bits := math.Float64bits(v)
+				words = append([]uint32{uint32(bits), uint32(bits >> 32)}, words...)
+				continue
+			}
+			v, err := ip.eval(k)
+			if err != nil {
+				return err
+			}
+			words = append([]uint32{uint32(v)}, words...)
+		}
+		return ip.invoke(n.Sym, words)
+	}
+	// Leaf call: pop Val longwords pushed by Arg statements.
+	nwords := int(n.Val)
+	words := make([]uint32, nwords)
+	for i := 0; i < nwords; i++ {
+		words[i] = uint32(ip.loadMem(ip.regs[ir.RegSP]+uint32(4*i), 4))
+	}
+	ip.regs[ir.RegSP] += uint32(4 * nwords)
+	return ip.invoke(n.Sym, words)
+}
+
+// ReadGlobal returns the named global's integer value.
+func (ip *Interp) ReadGlobal(name string, t ir.Type) (int64, error) {
+	a, ok := ip.globals[name]
+	if !ok {
+		return 0, fmt.Errorf("irinterp: no global %q", name)
+	}
+	return extend(ip.loadMem(a, t.Size()), t), nil
+}
+
+// ReadGlobalFloat returns the named global's floating value.
+func (ip *Interp) ReadGlobalFloat(name string, t ir.Type) (float64, error) {
+	a, ok := ip.globals[name]
+	if !ok {
+		return 0, fmt.Errorf("irinterp: no global %q", name)
+	}
+	return ip.loadFloat(lval{addr: a}, t), nil
+}
+
+// WriteGlobal stores an integer into the named global.
+func (ip *Interp) WriteGlobal(name string, t ir.Type, v int64) error {
+	a, ok := ip.globals[name]
+	if !ok {
+		return fmt.Errorf("irinterp: no global %q", name)
+	}
+	ip.storeMem(a, t.Size(), uint64(v))
+	return nil
+}

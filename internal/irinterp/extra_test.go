@@ -1,0 +1,160 @@
+package irinterp
+
+import (
+	"testing"
+
+	"ggcg/internal/ir"
+)
+
+func TestFloatReverseOps(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "d", Type: ir.Double}}, "main", 0,
+		tree(`(Assign.d (Name.d d) (RDiv.d (FConst.d 4) (FConst.d 10)))`),
+		tree(`(Ret.l (Conv.l (Indir.d (Name.d d))))`),
+	)
+	r, err := New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 2 { // 10/4 = 2.5 -> 2
+		t.Errorf("RDiv.d = %d, want 2", r)
+	}
+}
+
+func TestFloatSelect(t *testing.T) {
+	f := &ir.Func{Name: "main"}
+	sel := &ir.Node{Op: ir.Select, Type: ir.Double, Kids: []*ir.Node{
+		ir.MustParse(`(Gt.l (Const.b 2) (Const.b 1))`),
+		ir.NewFConst(ir.Double, 7.5),
+		ir.NewFConst(ir.Double, 1.5),
+	}}
+	f.Emit(ir.Bin(ir.Assign, ir.Double, ir.NewName(ir.Double, "d"), sel))
+	f.Emit(&ir.Node{Op: ir.Ret, Type: ir.Long,
+		Kids: []*ir.Node{ir.Un(ir.Conv, ir.Long, ir.GlobalRef(ir.Double, "d"))}})
+	u := &ir.Unit{Globals: []ir.Global{{Name: "d", Type: ir.Double}}, Funcs: []*ir.Func{f}}
+	r, err := New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 7 {
+		t.Errorf("float select = %d, want 7", r)
+	}
+}
+
+func TestRegUseAndDregAssignment(t *testing.T) {
+	// Phase-1 style register transfer: Assign to Dreg r5, use via RegUse.
+	u := unitOf([]ir.Global{{Name: "g", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Dreg.l r5) (Const.b 21))`),
+		tree(`(Assign.l (Name.l g) (Plus.l (RegUse.l r5) (RegUse.l r5)))`),
+		tree(`(Ret.l (Indir.l (Name.l g)))`),
+	)
+	r, err := New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 42 {
+		t.Errorf("RegUse sum = %d, want 42", r)
+	}
+}
+
+func TestFloatAssignFromIntSource(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "f", Type: ir.Float}, {Name: "n", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l n) (Const.b 9))`),
+		tree(`(Assign.f (Name.f f) (Indir.l (Name.l n)))`),
+		tree(`(Ret.l (Conv.l (Indir.f (Name.f f))))`),
+	)
+	r, err := New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 9 {
+		t.Errorf("int->float assign = %d, want 9", r)
+	}
+}
+
+func TestIntAssignFromFloatSource(t *testing.T) {
+	// Assigning a float to an int location goes through the explicit
+	// conversion the front end inserts, but the interpreter also handles
+	// the raw mixed assignment.
+	u := unitOf([]ir.Global{{Name: "n", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l n) (FConst.d 6.9))`),
+		tree(`(Ret.l (Indir.l (Name.l n)))`),
+	)
+	r, err := New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 6 {
+		t.Errorf("float->int assign = %d, want 6", r)
+	}
+}
+
+func TestNotAndComplAsValues(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "g", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l g) (Plus.l (Not (Const.b 0)) (Compl.l (Const.b -3))))`),
+		tree(`(Ret.l (Indir.l (Name.l g)))`),
+	)
+	r, err := New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1+2 {
+		t.Errorf("got %d, want 3", r)
+	}
+}
+
+func TestFloatCondition(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "d", Type: ir.Double}, {Name: "g", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.d (Name.d d) (FConst.d 0.5))`),
+		tree(`(CBranch (Cmp.d:gt (Indir.d (Name.d d)) (FConst.d 0.25)) (Lab L1))`),
+		tree(`(Assign.l (Name.l g) (Const.b 1))`),
+		tree(`(Jump (Lab L2))`),
+		ir.LabelItem(1),
+		tree(`(Assign.l (Name.l g) (Const.b 2))`),
+		ir.LabelItem(2),
+		tree(`(Ret.l (Indir.l (Name.l g)))`),
+	)
+	r, err := New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 2 {
+		t.Errorf("float compare took wrong path: %d", r)
+	}
+}
+
+func TestWriteGlobalHelper(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "g", Type: ir.Word}}, "main", 0,
+		tree(`(Ret.l (Indir.w (Name.w g)))`),
+	)
+	ip := New(u)
+	if err := ip.WriteGlobal("g", ir.Word, -1234); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ip.CallPreservingState("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != -1234 {
+		t.Errorf("got %d", r)
+	}
+	if err := ip.WriteGlobal("nosuch", ir.Word, 1); err == nil {
+		t.Error("writing a missing global succeeded")
+	}
+	if _, err := ip.ReadGlobalFloat("nosuch", ir.Double); err == nil {
+		t.Error("reading a missing float global succeeded")
+	}
+}
+
+func TestNotOfNonzero(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "g", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l g) (Not (Const.b 5)))`),
+		tree(`(Ret.l (Indir.l (Name.l g)))`),
+	)
+	r, err := New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("!5 = %d, want 0", r)
+	}
+}

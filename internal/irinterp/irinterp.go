@@ -1,0 +1,333 @@
+// Package irinterp interprets intermediate-representation programs
+// directly, independent of any code generator. It is the correctness oracle
+// for differential testing: the same ir.Unit is compiled by the
+// Graham-Glanville code generator and by the PCC-style baseline, executed
+// on the VAX simulator, and the results compared with this interpreter's
+// (replacing the validation suites of §8 of the paper).
+//
+// The interpreter models the same machine conventions the code generators
+// target — a byte-addressable memory, frame/argument/stack pointer
+// registers, and argument passing at positive ap offsets — because the
+// trees address locals and arguments through explicit address arithmetic on
+// the dedicated registers.
+package irinterp
+
+import (
+	"fmt"
+	"math"
+
+	"ggcg/internal/ir"
+)
+
+// Interp executes an ir.Unit.
+type Interp struct {
+	unit    *ir.Unit
+	funcs   map[string]*ir.Func
+	globals map[string]uint32
+
+	mem  []byte
+	regs [16]uint32
+
+	// Steps counts evaluated tree nodes, bounded by MaxSteps.
+	Steps    int64
+	MaxSteps int64
+
+	retValI int64
+	retValF float64
+}
+
+const dataBase = 0x1000
+
+// New builds an interpreter for the unit, laying out globals the same way
+// the simulator's assembler does.
+func New(u *ir.Unit) *Interp {
+	ip := &Interp{
+		unit:     u,
+		funcs:    make(map[string]*ir.Func),
+		globals:  make(map[string]uint32),
+		mem:      make([]byte, 1<<20),
+		MaxSteps: 50_000_000,
+	}
+	cursor := uint32(dataBase)
+	for _, g := range u.Globals {
+		size := g.Size
+		if size == 0 {
+			size = g.Type.Size()
+		}
+		if r := cursor % 4; r != 0 {
+			cursor += 4 - r
+		}
+		ip.globals[g.Name] = cursor
+		cursor += uint32(size)
+	}
+	for _, f := range u.Funcs {
+		ip.funcs[f.Name] = f
+	}
+	ip.Reset()
+	return ip
+}
+
+// Reset clears memory and registers and reapplies global initializers.
+func (ip *Interp) Reset() {
+	for i := range ip.mem {
+		ip.mem[i] = 0
+	}
+	ip.regs = [16]uint32{}
+	ip.regs[ir.RegSP] = uint32(len(ip.mem) - 64)
+	for _, g := range ip.unit.Globals {
+		if !g.HasInit {
+			continue
+		}
+		a := ip.globals[g.Name]
+		if g.Type.IsFloat() {
+			ip.storeFloat(lval{addr: a}, g.Type, g.FInit)
+		} else {
+			ip.storeMem(a, g.Type.Size(), uint64(g.Init))
+		}
+	}
+}
+
+// Call resets the interpreter and invokes the named function with longword
+// arguments, returning its value as a signed 32-bit integer.
+func (ip *Interp) Call(name string, args ...int64) (int64, error) {
+	ip.Reset()
+	return ip.CallPreservingState(name, args...)
+}
+
+// CallPreservingState is Call without the Reset.
+func (ip *Interp) CallPreservingState(name string, args ...int64) (int64, error) {
+	words := make([]uint32, len(args))
+	for i, a := range args {
+		words[i] = uint32(a)
+	}
+	if err := ip.invoke(name, words); err != nil {
+		return 0, err
+	}
+	return int64(int32(ip.regs[0])), nil
+}
+
+// invoke runs a function with the given argument words, mimicking the
+// simulator's frame protocol: arguments end up at 4(ap), 8(ap), ...
+func (ip *Interp) invoke(name string, argWords []uint32) error {
+	f, ok := ip.funcs[name]
+	if !ok {
+		return fmt.Errorf("irinterp: no function %q", name)
+	}
+	// Push arguments (first argument highest, nearest ap+4).
+	for i := len(argWords) - 1; i >= 0; i-- {
+		ip.push32(argWords[i])
+	}
+	ip.push32(uint32(len(argWords)))
+	savedAP, savedFP := ip.regs[ir.RegAP], ip.regs[ir.RegFP]
+	var savedScratch [12]uint32
+	copy(savedScratch[:], ip.regs[:12])
+	ip.regs[ir.RegAP] = ip.regs[ir.RegSP]
+	ip.regs[ir.RegFP] = ip.regs[ir.RegSP]
+	// Allocate locals and temporaries.
+	frame := uint32(f.TotalFrame() + 64)
+	ip.regs[ir.RegSP] -= frame
+
+	err := ip.runBody(f)
+
+	ip.regs[ir.RegSP] = ip.regs[ir.RegAP] + 4 + 4*uint32(len(argWords))
+	ip.regs[ir.RegAP], ip.regs[ir.RegFP] = savedAP, savedFP
+	// The entry mask restores r6-r11; r0/r1 carry the return value.
+	copy(ip.regs[2:12], savedScratch[2:12])
+	return err
+}
+
+// runBody executes a function body's items in order, following branches.
+func (ip *Interp) runBody(f *ir.Func) error {
+	labels := make(map[int]int)
+	for i, it := range f.Items {
+		if it.Kind == ir.ItemLabel {
+			labels[it.Label] = i
+		}
+	}
+	pc := 0
+	for pc < len(f.Items) {
+		if err := ip.step(); err != nil {
+			return fmt.Errorf("irinterp: %s: %v", f.Name, err)
+		}
+		it := f.Items[pc]
+		if it.Kind == ir.ItemLabel {
+			pc++
+			continue
+		}
+		jump, returned, err := ip.execTree(it.Tree)
+		if err != nil {
+			return fmt.Errorf("irinterp: %s: %v (tree %s)", f.Name, err, it.Tree)
+		}
+		if returned {
+			return nil
+		}
+		if jump >= 0 {
+			to, ok := labels[jump]
+			if !ok {
+				return fmt.Errorf("irinterp: %s: undefined label L%d", f.Name, jump)
+			}
+			pc = to
+			continue
+		}
+		pc++
+	}
+	return nil
+}
+
+// execTree executes one statement tree. It returns a label to jump to
+// (or -1) and whether the function returned.
+func (ip *Interp) execTree(n *ir.Node) (jump int, returned bool, err error) {
+	switch n.Op {
+	case ir.Jump:
+		return int(n.Kids[0].Val), false, nil
+	case ir.CBranch:
+		taken, err := ip.evalCond(n.Kids[0])
+		if err != nil {
+			return -1, false, err
+		}
+		if taken {
+			return int(n.Kids[1].Val), false, nil
+		}
+		return -1, false, nil
+	case ir.Ret:
+		if len(n.Kids) == 1 {
+			if n.Kids[0].Type.IsFloat() {
+				v, err := ip.evalF(n.Kids[0])
+				if err != nil {
+					return -1, false, err
+				}
+				ip.setRetF(n.Kids[0].Type, v)
+			} else {
+				v, err := ip.eval(n.Kids[0])
+				if err != nil {
+					return -1, false, err
+				}
+				ip.regs[0] = uint32(v)
+			}
+		}
+		return -1, true, nil
+	case ir.Arg:
+		k := n.Kids[0]
+		if k.Type.IsFloat() {
+			v, err := ip.evalF(k)
+			if err != nil {
+				return -1, false, err
+			}
+			bits := math.Float64bits(v)
+			ip.push32(uint32(bits >> 32))
+			ip.push32(uint32(bits))
+			return -1, false, nil
+		}
+		v, err := ip.eval(k)
+		if err != nil {
+			return -1, false, err
+		}
+		ip.push32(uint32(v))
+		return -1, false, nil
+	default:
+		// An expression statement: evaluate for side effects.
+		if n.Type.IsFloat() {
+			_, err := ip.evalF(n)
+			return -1, false, err
+		}
+		_, err := ip.eval(n)
+		return -1, false, err
+	}
+}
+
+// evalCond evaluates a conditional-branch test: a Cmp node or (before the
+// transformation phase) a relational or boolean expression.
+func (ip *Interp) evalCond(n *ir.Node) (bool, error) {
+	if n.Op == ir.Cmp {
+		return ip.compare(ir.Rel(n.Val), n.Kids[0], n.Kids[1], n.Type)
+	}
+	if n.Op.IsRelational() {
+		t := n.Type
+		if t == ir.Void {
+			t = relType(n)
+		}
+		return ip.compare(n.Op.Rel(), n.Kids[0], n.Kids[1], t)
+	}
+	v, err := ip.eval(n)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// relType is the comparison type of a relational node: the wider of the
+// operand types (the front end normally makes them agree).
+func relType(n *ir.Node) ir.Type {
+	a, b := n.Kids[0].Type, n.Kids[1].Type
+	if a.Size() >= b.Size() {
+		return a
+	}
+	return b
+}
+
+func (ip *Interp) compare(rel ir.Rel, l, r *ir.Node, t ir.Type) (bool, error) {
+	if t.IsFloat() {
+		a, err := ip.evalF(l)
+		if err != nil {
+			return false, err
+		}
+		b, err := ip.evalF(r)
+		if err != nil {
+			return false, err
+		}
+		switch rel {
+		case ir.REQ:
+			return a == b, nil
+		case ir.RNE:
+			return a != b, nil
+		case ir.RLT:
+			return a < b, nil
+		case ir.RLE:
+			return a <= b, nil
+		case ir.RGT:
+			return a > b, nil
+		case ir.RGE:
+			return a >= b, nil
+		}
+	}
+	a, err := ip.eval(l)
+	if err != nil {
+		return false, err
+	}
+	b, err := ip.eval(r)
+	if err != nil {
+		return false, err
+	}
+	if t.IsUnsigned() {
+		ua, ub := uint32(a), uint32(b)
+		switch rel {
+		case ir.REQ:
+			return ua == ub, nil
+		case ir.RNE:
+			return ua != ub, nil
+		case ir.RLT:
+			return ua < ub, nil
+		case ir.RLE:
+			return ua <= ub, nil
+		case ir.RGT:
+			return ua > ub, nil
+		case ir.RGE:
+			return ua >= ub, nil
+		}
+	}
+	switch rel {
+	case ir.REQ:
+		return a == b, nil
+	case ir.RNE:
+		return a != b, nil
+	case ir.RLT:
+		return a < b, nil
+	case ir.RLE:
+		return a <= b, nil
+	case ir.RGT:
+		return a > b, nil
+	case ir.RGE:
+		return a >= b, nil
+	}
+	return false, fmt.Errorf("bad relation %v", rel)
+}

@@ -1,0 +1,270 @@
+package irinterp
+
+import (
+	"strings"
+	"testing"
+
+	"ggcg/internal/ir"
+)
+
+// unitOf builds a single-function unit whose body is given as parsed trees.
+func unitOf(globals []ir.Global, fname string, frameSize int, items ...ir.Item) *ir.Unit {
+	f := &ir.Func{Name: fname, FrameSize: frameSize, Items: items}
+	return &ir.Unit{Globals: globals, Funcs: []*ir.Func{f}}
+}
+
+func tree(src string) ir.Item { return ir.TreeItem(ir.MustParse(src)) }
+
+func TestAssignGlobal(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "a", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l a) (Plus.l (Const.b 27) (Const.b 15)))`),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ip.ReadGlobal("a", ir.Long); v != 42 {
+		t.Errorf("a = %d, want 42", v)
+	}
+}
+
+func TestAppendixExpression(t *testing.T) {
+	// a := 27 + b with byte local b at fp-4 holding 100.
+	u := unitOf([]ir.Global{{Name: "a", Type: ir.Long}}, "foo", 4,
+		tree(`(Assign.b (Indir.b (Plus.l (Const.b -4) (Dreg.l fp))) (Const.b 100))`),
+		tree(`(Assign.l (Name.l a) (Plus.l (Const.b 27) (Indir.b (Plus.l (Const.b -4) (Dreg.l fp)))))`),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("foo"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ip.ReadGlobal("a", ir.Long); v != 127 {
+		t.Errorf("a = %d, want 127", v)
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// i = 0; s = 0; L1: if i > 10 goto L2; s += i; i++; goto L1; L2: ret s
+	u := unitOf([]ir.Global{{Name: "s", Type: ir.Long}, {Name: "i", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l i) (Const.b 1))`),
+		tree(`(Assign.l (Name.l s) (Const.b 0))`),
+		ir.LabelItem(1),
+		tree(`(CBranch (Cmp.l:gt (Indir.l (Name.l i)) (Const.b 10)) (Lab L2))`),
+		tree(`(Assign.l (Name.l s) (Plus.l (Indir.l (Name.l s)) (Indir.l (Name.l i))))`),
+		tree(`(Assign.l (Name.l i) (Plus.l (Indir.l (Name.l i)) (Const.b 1)))`),
+		tree(`(Jump (Lab L1))`),
+		ir.LabelItem(2),
+		tree(`(Ret.l (Indir.l (Name.l s)))`),
+	)
+	ip := New(u)
+	r, err := ip.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 55 {
+		t.Errorf("sum = %d, want 55", r)
+	}
+}
+
+func TestArgsAndRecursion(t *testing.T) {
+	// fact(n): if n <= 1 return 1; return n * fact(n-1)  (pre-transform
+	// form with the call embedded in the expression).
+	f := &ir.Func{Name: "fact"}
+	arg := `(Indir.l (Plus.l (Const.b 4) (Dreg.l ap)))`
+	f.Emit(ir.MustParse(`(CBranch (Cmp.l:gt ` + arg + ` (Const.b 1)) (Lab L1))`))
+	f.Emit(ir.MustParse(`(Ret.l (Const.b 1))`))
+	f.EmitLabel(1)
+	call := &ir.Node{Op: ir.Call, Type: ir.Long, Sym: "fact", Kids: []*ir.Node{
+		ir.MustParse(`(Minus.l ` + arg + ` (Const.b 1))`),
+	}}
+	f.Emit(ir.Bin(ir.Assign, ir.Long, ir.NewName(ir.Long, "t"), call))
+	f.Emit(ir.MustParse(`(Ret.l (Mul.l ` + arg + ` (Indir.l (Name.l t))))`))
+	u := &ir.Unit{Globals: []ir.Global{{Name: "t", Type: ir.Long}}, Funcs: []*ir.Func{f}}
+	ip := New(u)
+	r, err := ip.Call("fact", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 720 {
+		t.Errorf("fact(6) = %d, want 720", r)
+	}
+}
+
+func TestLeafCallWithArgStatements(t *testing.T) {
+	// Post-transform form: Arg statements push, Call is a leaf.
+	add := &ir.Func{Name: "add"}
+	add.Emit(ir.MustParse(`(Ret.l (Plus.l (Indir.l (Plus.l (Const.b 4) (Dreg.l ap))) (Indir.l (Plus.l (Const.b 8) (Dreg.l ap)))))`))
+	main := &ir.Func{Name: "main", FrameSize: 4}
+	main.Emit(ir.MustParse(`(Arg.l (Const.b 12))`))
+	main.Emit(ir.MustParse(`(Arg.l (Const.b 30))`))
+	callLeaf := &ir.Node{Op: ir.Call, Type: ir.Long, Sym: "add", Val: 2}
+	main.Emit(ir.Bin(ir.Assign, ir.Long, ir.FrameRef(ir.Long, -4), callLeaf))
+	main.Emit(ir.MustParse(`(Ret.l (Indir.l (Plus.l (Const.b -4) (Dreg.l fp))))`))
+	u := &ir.Unit{Funcs: []*ir.Func{add, main}}
+	ip := New(u)
+	r, err := ip.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 42 {
+		t.Errorf("add(30,12) = %d, want 42", r)
+	}
+}
+
+func TestShortCircuitAndSelect(t *testing.T) {
+	// g = (x != 0 && 10/x > 2) ? 1 : 2 with x = 0 must not divide by zero.
+	u := unitOf([]ir.Global{{Name: "g", Type: ir.Long}, {Name: "x", Type: ir.Long}}, "main", 0,
+		ir.TreeItem(ir.Bin(ir.Assign, ir.Long, ir.NewName(ir.Long, "g"),
+			&ir.Node{Op: ir.Select, Type: ir.Long, Kids: []*ir.Node{
+				ir.Bin(ir.AndAnd, ir.Long,
+					ir.MustParse(`(Ne.l (Indir.l (Name.l x)) (Const.b 0))`),
+					ir.MustParse(`(Gt.l (Div.l (Const.b 10) (Indir.l (Name.l x))) (Const.b 2))`)),
+				ir.NewConst(ir.Byte, 1),
+				ir.NewConst(ir.Byte, 2),
+			}})),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ip.ReadGlobal("g", ir.Long); v != 2 {
+		t.Errorf("g = %d, want 2", v)
+	}
+}
+
+func TestUnsignedSemantics(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "g", Type: ir.ULong}}, "main", 0,
+		ir.TreeItem(ir.Bin(ir.Assign, ir.ULong, ir.NewName(ir.ULong, "g"),
+			ir.Bin(ir.Div, ir.ULong, ir.NewConst(ir.ULong, -2), ir.NewConst(ir.ULong, 10)))),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := ip.ReadGlobal("g", ir.ULong)
+	if uint32(v) != (1<<32-2)/10 {
+		t.Errorf("unsigned div = %d", uint32(v))
+	}
+	// Unsigned comparison: (unsigned)-1 > 1.
+	b, err := ip.compare(ir.RGT, ir.NewConst(ir.ULong, -1), ir.NewConst(ir.ULong, 1), ir.ULong)
+	if err != nil || !b {
+		t.Errorf("unsigned -1 > 1 = %v, %v", b, err)
+	}
+}
+
+func TestPostIncPreDec(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "i", Type: ir.Long}, {Name: "a", Type: ir.Long}, {Name: "b", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l i) (Const.b 5))`),
+		tree(`(Assign.l (Name.l a) (PostInc.l (Name.l i) (Const.b 1)))`),
+		tree(`(Assign.l (Name.l b) (PreDec.l (Name.l i) (Const.b 1)))`),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ip.ReadGlobal("a", ir.Long)
+	b, _ := ip.ReadGlobal("b", ir.Long)
+	i, _ := ip.ReadGlobal("i", ir.Long)
+	if a != 5 || b != 5 || i != 5 {
+		t.Errorf("a,b,i = %d,%d,%d; want 5,5,5", a, b, i)
+	}
+}
+
+func TestReverseOperators(t *testing.T) {
+	// RMinus(b, a) must compute a-b.
+	u := unitOf([]ir.Global{{Name: "g", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l g) (RMinus.l (Const.b 12) (Const.b 30)))`),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ip.ReadGlobal("g", ir.Long); v != 18 {
+		t.Errorf("RMinus = %d, want 18 (30-12)", v)
+	}
+}
+
+func TestFloatsAndConversion(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "d", Type: ir.Double}, {Name: "n", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.d (Name.d d) (Mul.d (FConst.d 1.5) (FConst.d 4)))`),
+		ir.TreeItem(ir.Bin(ir.Assign, ir.Long, ir.NewName(ir.Long, "n"),
+			ir.Un(ir.Conv, ir.Long, ir.MustParse(`(Indir.d (Name.d d))`)))),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ip.ReadGlobalFloat("d", ir.Double); v != 6 {
+		t.Errorf("d = %g", v)
+	}
+	if v, _ := ip.ReadGlobal("n", ir.Long); v != 6 {
+		t.Errorf("n = %d", v)
+	}
+}
+
+func TestByteTruncationAndWidening(t *testing.T) {
+	u := unitOf([]ir.Global{{Name: "c", Type: ir.Byte}, {Name: "n", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.b (Name.b c) (Const.w 300))`), // truncates to 44
+		tree(`(Assign.l (Name.l n) (Indir.b (Name.b c)))`),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ip.ReadGlobal("c", ir.Byte); v != 44 {
+		t.Errorf("c = %d, want 44", v)
+	}
+	if v, _ := ip.ReadGlobal("n", ir.Long); v != 44 {
+		t.Errorf("n = %d, want 44", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ip := New(unitOf(nil, "main", 0, tree(`(Ret.v)`)))
+	if _, err := ip.Call("nosuch"); err == nil {
+		t.Error("calling missing function succeeded")
+	}
+	u := unitOf(nil, "main", 0, tree(`(Jump (Lab L9))`))
+	if _, err := New(u).Call("main"); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("undefined label: %v", err)
+	}
+	u2 := unitOf([]ir.Global{{Name: "g", Type: ir.Long}}, "main", 0,
+		tree(`(Assign.l (Name.l g) (Div.l (Const.b 1) (Const.b 0)))`))
+	if _, err := New(u2).Call("main"); err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Errorf("div by zero: %v", err)
+	}
+	// Infinite loop hits the step limit.
+	u3 := unitOf(nil, "main", 0, ir.LabelItem(1), tree(`(Jump (Lab L1))`))
+	ip3 := New(u3)
+	ip3.MaxSteps = 100
+	if _, err := ip3.Call("main"); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("step limit: %v", err)
+	}
+}
+
+func TestGlobalArrayLayout(t *testing.T) {
+	u := unitOf([]ir.Global{
+		{Name: "arr", Type: ir.Long, Size: 40},
+		{Name: "x", Type: ir.Long},
+	}, "main", 0,
+		// arr[3] = 7 via explicit address arithmetic.
+		tree(`(Assign.l (Indir.l (Plus.l (Const.b 12) (Name.l arr))) (Const.b 7))`),
+		tree(`(Assign.l (Name.l x) (Indir.l (Plus.l (Const.b 12) (Name.l arr))))`),
+		tree(`(Ret.v)`),
+	)
+	ip := New(u)
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ip.ReadGlobal("x", ir.Long); v != 7 {
+		t.Errorf("x = %d, want 7", v)
+	}
+}

@@ -1,0 +1,231 @@
+// Package matcher implements the instruction pattern matcher: a
+// table-driven shift/reduce parser invoked once for each expression tree to
+// be compiled (§3.3 of the paper). Each reduction corresponds to one
+// logical instruction, an encapsulating (addressing mode) condensation, or
+// parsing glue; reductions are emitted in linear time in a provably correct
+// order.
+//
+// Semantic attributes ride on a parallel value stack. Encapsulating
+// reductions condense the attributes of a pattern into a signature
+// associated with the left hand side nonterminal (§5.2); all communication
+// from the tree transformers to the semantic phase flows through these
+// attributes.
+package matcher
+
+import (
+	"fmt"
+
+	"ggcg/internal/cgram"
+	"ggcg/internal/ir"
+	"ggcg/internal/tablegen"
+)
+
+// Value is one entry of the semantic stack: a terminal's token (for shifted
+// terminals) or the attribute a reduction produced (for nonterminals).
+type Value struct {
+	Tok *ir.Token // non-nil for terminal entries
+	Sem any       // the condensed semantic attribute for nonterminal entries
+}
+
+// Semantics supplies the dynamic semantic side of code generation: the
+// reduction actions (hand-coded routines, as in §2 of the paper) and the
+// semantic qualification predicates used to choose among equal-length
+// reductions (§3.2).
+type Semantics interface {
+	// Reduce is invoked for every reduction. args holds the semantic
+	// values of the right hand side, left to right; the returned value
+	// becomes the attribute of the left hand side nonterminal.
+	Reduce(p *cgram.Prod, args []Value) (any, error)
+
+	// Predicate evaluates the named semantic qualification against a
+	// candidate production's right hand side values.
+	Predicate(name string, p *cgram.Prod, args []Value) bool
+}
+
+// TraceKind discriminates trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceShift TraceKind = iota
+	TraceReduce
+	TraceAccept
+)
+
+// TraceEvent describes one parser action, in the style of the action table
+// in the paper's appendix.
+type TraceEvent struct {
+	Kind TraceKind
+	Term string      // shifted terminal, for TraceShift
+	Prod *cgram.Prod // reduced production, for TraceReduce
+}
+
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TraceShift:
+		return "shift  " + e.Term
+	case TraceReduce:
+		return fmt.Sprintf("reduce %d: %s", e.Prod.Index, e.Prod)
+	case TraceAccept:
+		return "accept"
+	}
+	return "?"
+}
+
+// Stats counts parser work, used by the phase-time experiments (§5, §8:
+// "our code generator spends most of its time parsing").
+type Stats struct {
+	Shifts  int
+	Reduces int
+	Trees   int
+}
+
+// Matcher drives the constructed tables over linearized expression trees.
+type Matcher struct {
+	tables *tablegen.Tables
+	sem    Semantics
+
+	// Trace, if non-nil, receives every parser action.
+	Trace func(TraceEvent)
+
+	stats Stats
+
+	// Reused parse stacks; a Matcher is not safe for concurrent use.
+	states []int32
+	vals   []Value
+}
+
+// New returns a matcher for the given tables and semantics.
+func New(t *tablegen.Tables, sem Semantics) *Matcher {
+	return &Matcher{tables: t, sem: sem}
+}
+
+// Stats returns accumulated parser work counters.
+func (m *Matcher) Stats() Stats { return m.stats }
+
+// BlockError reports a syntactic block encountered at match time: input for
+// which the pattern matcher performs an error action (§3.2). It names the
+// offending terminal and position so the grammar author can add a bridge
+// production (§6.2.2).
+type BlockError struct {
+	State int
+	Term  string
+	Pos   int
+	Tree  string
+}
+
+func (e *BlockError) Error() string {
+	return fmt.Sprintf("matcher: syntactic block in state %d at token %d (%s) of %s",
+		e.State, e.Pos, e.Term, e.Tree)
+}
+
+// Match parses one linearized tree, invoking semantic actions on each
+// reduction, and returns the attribute of the accepted sentential symbol.
+func (m *Matcher) Match(toks []ir.Token) (Value, error) {
+	t := m.tables
+	if cap(m.states) == 0 {
+		m.states = make([]int32, 0, 64)
+		m.vals = make([]Value, 0, 64)
+	}
+	states := append(m.states[:0], 0)
+	vals := append(m.vals[:0], Value{})
+	defer func() {
+		m.states, m.vals = states[:0], vals[:0]
+	}()
+	m.stats.Trees++
+
+	blockErr := func(pos int, term string) error {
+		tree := ir.TermString(toks)
+		return &BlockError{State: int(states[len(states)-1]), Term: term, Pos: pos, Tree: tree}
+	}
+
+	pos := 0
+	for {
+		var termID int
+		var termName string
+		var tok *ir.Token
+		if pos < len(toks) {
+			id, ok := t.TermID(toks[pos].Term)
+			if !ok {
+				return Value{}, blockErr(pos, toks[pos].Term+" (not in machine description)")
+			}
+			termID, termName, tok = id, toks[pos].Term, &toks[pos]
+		} else if pos == len(toks) {
+			termID, termName = t.End(), "$end"
+		} else {
+			return Value{}, fmt.Errorf("matcher: ran past end of input")
+		}
+
+		act := t.Lookup(int(states[len(states)-1]), termID)
+		switch act.Kind {
+		case tablegen.ActShift:
+			states = append(states, act.Arg)
+			vals = append(vals, Value{Tok: tok})
+			m.stats.Shifts++
+			if m.Trace != nil {
+				m.Trace(TraceEvent{Kind: TraceShift, Term: termName})
+			}
+			pos++
+
+		case tablegen.ActReduce, tablegen.ActChoice:
+			var prod *cgram.Prod
+			if act.Kind == tablegen.ActReduce {
+				prod = t.Grammar.Prods[act.Arg-1]
+			} else {
+				var err error
+				prod, err = m.choose(t.ChoiceProds(act), vals)
+				if err != nil {
+					return Value{}, err
+				}
+			}
+			n := len(prod.RHS)
+			args := vals[len(vals)-n:]
+			sem, err := m.sem.Reduce(prod, args)
+			if err != nil {
+				return Value{}, fmt.Errorf("matcher: action %q of production %d: %w",
+					prod.Action, prod.Index, err)
+			}
+			states = states[:len(states)-n]
+			vals = vals[:len(vals)-n]
+			lhs, _ := t.NontermID(prod.LHS)
+			to := t.GotoState(int(states[len(states)-1]), lhs)
+			if to < 0 {
+				return Value{}, blockErr(pos, "goto "+prod.LHS)
+			}
+			states = append(states, int32(to))
+			vals = append(vals, Value{Sem: sem})
+			m.stats.Reduces++
+			if m.Trace != nil {
+				m.Trace(TraceEvent{Kind: TraceReduce, Prod: prod})
+			}
+
+		case tablegen.ActAccept:
+			if m.Trace != nil {
+				m.Trace(TraceEvent{Kind: TraceAccept})
+			}
+			return vals[len(vals)-1], nil
+
+		default:
+			return Value{}, blockErr(pos, termName)
+		}
+	}
+}
+
+// choose resolves a dynamic reduce/reduce choice: semantically qualified
+// candidates are tried in order, and the first whose predicate holds wins;
+// an unqualified candidate is the default. If every candidate is qualified
+// and none holds, the input is semantically blocked (§3.2).
+func (m *Matcher) choose(cands []int32, vals []Value) (*cgram.Prod, error) {
+	g := m.tables.Grammar
+	for _, pi := range cands {
+		p := g.Prods[pi-1]
+		if p.Pred == "" {
+			return p, nil
+		}
+		args := vals[len(vals)-len(p.RHS):]
+		if m.sem.Predicate(p.Pred, p, args) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("matcher: semantic block: no candidate in %v applies", cands)
+}

@@ -1,0 +1,163 @@
+// Package mdgen implements the macro preprocessor that type-replicates a
+// generic machine description grammar into the final grammar from which the
+// tables are constructed (§6.4 of the paper).
+//
+// Because the code generator handles type checking and conversion
+// syntactically ("syntax for semantics"), every symbol that can have a
+// different type attribute is replaced by one symbol per machine type, and
+// productions are replicated accordingly. The paper used three-character
+// macros whose exact syntax its text leaves under-specified; this package
+// provides a cleaned-up equivalent:
+//
+//	%replicate b w l
+//	reg.$t -> Plus.$t rval.$t rval.$t ; action=add.$t
+//	%end
+//
+// Within a %replicate block, each line is emitted once per listed type with
+// these substitutions:
+//
+//	$t  the type suffix (b, w, l, f, d)
+//	$S  the scale terminal for the type's size (One, Two, Four, Eight)
+//	$z  the type's size in bytes
+//
+// As in the paper, the replicator only handles productions whose
+// intra-production type variation is consistent; the cross products needed
+// for the data conversion sub-grammar are written out by hand (§6.4).
+package mdgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ggcg/internal/ir"
+)
+
+// Expand performs type replication, returning the final grammar text.
+func Expand(src string) (string, error) {
+	var out strings.Builder
+	var blockTypes []ir.Type // nil when outside a block
+	inBlock := false
+	for ln, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "%replicate"):
+			if inBlock {
+				return "", fmt.Errorf("mdgen: line %d: nested %%replicate", ln+1)
+			}
+			types, err := parseTypes(strings.Fields(trimmed)[1:])
+			if err != nil {
+				return "", fmt.Errorf("mdgen: line %d: %v", ln+1, err)
+			}
+			blockTypes, inBlock = types, true
+		case trimmed == "%end":
+			if !inBlock {
+				return "", fmt.Errorf("mdgen: line %d: %%end outside %%replicate", ln+1)
+			}
+			inBlock = false
+		case inBlock:
+			for _, t := range blockTypes {
+				expanded, err := substitute(line, t)
+				if err != nil {
+					return "", fmt.Errorf("mdgen: line %d: %v", ln+1, err)
+				}
+				out.WriteString(expanded)
+				out.WriteByte('\n')
+			}
+		default:
+			if strings.Contains(stripComment(line), "$") {
+				return "", fmt.Errorf("mdgen: line %d: macro outside %%replicate block", ln+1)
+			}
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	if inBlock {
+		return "", fmt.Errorf("mdgen: unterminated %%replicate block")
+	}
+	return out.String(), nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func parseTypes(fields []string) ([]ir.Type, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("%%replicate needs at least one type")
+	}
+	types := make([]ir.Type, 0, len(fields))
+	for _, f := range fields {
+		t, ok := ir.TypeBySuffix(f)
+		if !ok || t == ir.Void {
+			return nil, fmt.Errorf("unknown machine type %q", f)
+		}
+		types = append(types, t)
+	}
+	return types, nil
+}
+
+// scaleTerm maps a type size to its special-constant scale terminal, the
+// syntactic encoding of typed addressing from §6.2.2/§6.3.
+func scaleTerm(t ir.Type) (string, error) {
+	switch t.Size() {
+	case 1:
+		return "One", nil
+	case 2:
+		return "Two", nil
+	case 4:
+		return "Four", nil
+	case 8:
+		return "Eight", nil
+	}
+	return "", fmt.Errorf("no scale terminal for type %v", t)
+}
+
+func substitute(line string, t ir.Type) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c != '$' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+1 >= len(line) {
+			return "", fmt.Errorf("dangling '$'")
+		}
+		i++
+		switch line[i] {
+		case 't':
+			b.WriteString(t.Suffix())
+		case 'S':
+			s, err := scaleTerm(t)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case 'z':
+			b.WriteString(strconv.Itoa(t.Size()))
+		default:
+			return "", fmt.Errorf("unknown macro $%c", line[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// Generic returns the grammar text with replication directives removed but
+// macro lines kept verbatim, so that the generic (pre-replication) grammar
+// can be sized — the "458 productions" row of the paper's §8 statistics.
+func Generic(src string) string {
+	var out strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "%replicate") || trimmed == "%end" {
+			continue
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}

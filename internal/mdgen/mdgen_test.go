@@ -1,0 +1,138 @@
+package mdgen
+
+import (
+	"strings"
+	"testing"
+
+	"ggcg/internal/cgram"
+)
+
+const genericSrc = `%start stmt
+stmt -> Assign.l lval.l rval.l ; action=asg.l
+%replicate b w l
+reg.$t -> Plus.$t rval.$t rval.$t ; action=add.$t
+dx.$t -> Plus.l Plus.l Const.l reg.l Mul.l $S reg.l ; action=dx.$z
+%end
+rval.l -> reg.l
+reg.l -> rval.b ; action=cvt.bl
+lval.l -> Name.l ; action=abs
+rval.b -> Const.b
+rval.w -> Const.w
+rval.l -> Const.l | Indir.l dx.l
+`
+
+func TestExpand(t *testing.T) {
+	out, err := Expand(genericSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"reg.b -> Plus.b rval.b rval.b ; action=add.b",
+		"reg.w -> Plus.w rval.w rval.w ; action=add.w",
+		"reg.l -> Plus.l rval.l rval.l ; action=add.l",
+		"dx.b -> Plus.l Plus.l Const.l reg.l Mul.l One reg.l ; action=dx.1",
+		"dx.w -> Plus.l Plus.l Const.l reg.l Mul.l Two reg.l ; action=dx.2",
+		"dx.l -> Plus.l Plus.l Const.l reg.l Mul.l Four reg.l ; action=dx.4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("expansion missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "$") {
+		t.Error("expansion left a macro behind")
+	}
+}
+
+func TestExpandParsesAsGrammar(t *testing.T) {
+	out, err := Expand(genericSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cgram.Parse(out)
+	if err != nil {
+		t.Fatalf("expanded grammar does not parse: %v", err)
+	}
+	// 1 + 2*3 (replicated) + 6 fixed lines (one with two alternatives).
+	if got := g.Stats().Productions; got != 14 {
+		t.Errorf("expanded productions = %d, want 14", got)
+	}
+}
+
+func TestGenericStats(t *testing.T) {
+	g, err := cgram.Parse(Generic(genericSrc))
+	if err != nil {
+		t.Fatalf("generic grammar does not parse: %v", err)
+	}
+	// 1 + 2 macro lines + 6 fixed.
+	if got := g.Stats().Productions; got != 10 {
+		t.Errorf("generic productions = %d, want 10", got)
+	}
+}
+
+func TestReplicationGrowsGrammar(t *testing.T) {
+	gen := cgram.MustParse(Generic(genericSrc)).Stats()
+	out, err := Expand(genericSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := cgram.MustParse(out).Stats()
+	if exp.Productions <= gen.Productions {
+		t.Errorf("replication should grow the grammar: %d -> %d", gen.Productions, exp.Productions)
+	}
+}
+
+func TestExpandFloatScale(t *testing.T) {
+	src := "%replicate f d\nrval.$t -> Indir.$t dx$z\n%end\ndxb -> Const.l\n"
+	out, err := Expand(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rval.f -> Indir.f dx4") || !strings.Contains(out, "rval.d -> Indir.d dx8") {
+		t.Errorf("float replication wrong:\n%s", out)
+	}
+}
+
+func TestExpandScaleTerms(t *testing.T) {
+	src := "%replicate b w l d\nx.$t -> $S\n%end\n"
+	out, err := Expand(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"x.b -> One", "x.w -> Two", "x.l -> Four", "x.d -> Eight"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	bad := map[string]string{
+		"nested":        "%replicate b\n%replicate w\n%end\n%end\n",
+		"unterminated":  "%replicate b\nx.$t -> Const.b\n",
+		"stray end":     "%end\n",
+		"bad type":      "%replicate q\nx.$t -> Const.b\n%end\n",
+		"no types":      "%replicate\nx.$t -> Const.b\n%end\n",
+		"bad macro":     "%replicate b\nx.$q -> Const.b\n%end\n",
+		"dangling":      "%replicate b\nx.$t -> Const.b $\n%end\n",
+		"macro outside": "x.$t -> Const.b\n",
+	}
+	for name, src := range bad {
+		if _, err := Expand(src); err == nil {
+			t.Errorf("%s: Expand succeeded, want error", name)
+		}
+	}
+}
+
+func TestCommentsPreserved(t *testing.T) {
+	src := "# header\n%replicate b\nreg.$t -> Const.$t # gen\n%end\n"
+	out, err := Expand(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# header") {
+		t.Error("comment outside block dropped")
+	}
+	if !strings.Contains(out, "reg.b -> Const.b # gen") {
+		t.Errorf("block line not expanded:\n%s", out)
+	}
+}

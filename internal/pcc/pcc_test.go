@@ -1,0 +1,72 @@
+package pcc
+
+import (
+	"testing"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/corpus"
+	"ggcg/internal/irinterp"
+	"ggcg/internal/vaxsim"
+)
+
+// TestDifferentialCorpus validates the baseline generator exactly the way
+// the table-driven one is validated: every corpus program runs on the
+// simulator and must agree with the IR interpreter oracle.
+func TestDifferentialCorpus(t *testing.T) {
+	for _, p := range corpus.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			u, err := cfront.Compile(p.Src)
+			if err != nil {
+				t.Fatalf("front end: %v", err)
+			}
+			oracle, err := irinterp.New(u).Call("main", p.Args...)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			res, err := Compile(u)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			prog, err := vaxsim.Assemble(res.Asm)
+			if err != nil {
+				t.Fatalf("assembler: %v\n%s", err, res.Asm)
+			}
+			got, err := vaxsim.New(prog).Call("_main", p.Args...)
+			if err != nil {
+				t.Fatalf("simulator: %v\n%s", err, res.Asm)
+			}
+			if got != oracle {
+				t.Errorf("baseline returned %d, oracle %d\n%s", got, oracle, res.Asm)
+			}
+		})
+	}
+}
+
+func TestLargeProgram(t *testing.T) {
+	src := corpus.Large(20)
+	u, err := cfront.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := irinterp.New(u).Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vaxsim.Assemble(res.Asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vaxsim.New(prog).Call("_main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != oracle {
+		t.Errorf("large program: baseline %d, oracle %d", got, oracle)
+	}
+	t.Logf("baseline large(20): %d asm lines", res.AsmLines)
+}

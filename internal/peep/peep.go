@@ -1,0 +1,584 @@
+// Package peep is a peephole optimizer over the generated assembly,
+// implementing the alternative organization §6.1 of the paper discusses
+// (after [Davidson81] and [Giegerich82]): instead of the code generator
+// recognizing condition codes and autoincrement itself, "the peephole
+// optimizer would introduce autoinc and condition code improvement where
+// possible", by a post analysis of basic blocks.
+//
+// The optimizer works on the textual assembly the code generators emit,
+// within basic blocks (label definitions and control transfers are
+// boundaries), applying a small set of rules to a fixed point:
+//
+//   - redundant move elimination (mov x,x; store/reload pairs)
+//   - condition-code awareness: a tst of a location the previous
+//     instruction just wrote is removed
+//   - jump to the next instruction removed; jump chains collapsed;
+//     a conditional branch over an unconditional jump is inverted
+//   - autoincrement/autodecrement introduction: an operation through (rN)
+//     followed by stepping rN by the operand size becomes (rN)+, and a
+//     pre-step becomes -(rN)
+//   - unreferenced labels are dropped
+package peep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Stats counts rule applications.
+type Stats struct {
+	RedundantMoves int
+	RedundantTst   int
+	JumpsToNext    int
+	JumpChains     int
+	InvertedOver   int
+	AutoInc        int
+	AutoDec        int
+	DeadLabels     int
+	LinesRemoved   int
+}
+
+type lineKind uint8
+
+const (
+	lDirective lineKind = iota
+	lLabel
+	lInstr
+)
+
+type line struct {
+	kind  lineKind
+	label string // label name, for lLabel
+	mn    string
+	ops   []string
+	raw   string // directives keep their original text
+}
+
+func (l *line) render() string {
+	switch l.kind {
+	case lDirective:
+		return l.raw
+	case lLabel:
+		return l.label + ":"
+	default:
+		if len(l.ops) == 0 {
+			return "\t" + l.mn
+		}
+		return "\t" + l.mn + "\t" + strings.Join(l.ops, ",")
+	}
+}
+
+// parse splits assembly text into lines. Function headers like
+// "_f:\t.word 0" become a label line plus a directive line.
+func parse(src string) []*line {
+	var out []*line
+	for _, raw := range strings.Split(src, "\n") {
+		text := strings.TrimRight(raw, " \t")
+		if text == "" {
+			continue
+		}
+		trimmed := strings.TrimSpace(text)
+		// Peel leading label definitions.
+		for {
+			colon := strings.IndexByte(trimmed, ':')
+			if colon <= 0 || strings.ContainsAny(trimmed[:colon], " \t,$(") {
+				break
+			}
+			out = append(out, &line{kind: lLabel, label: trimmed[:colon]})
+			trimmed = strings.TrimSpace(trimmed[colon+1:])
+		}
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, ".") {
+			raw := text
+			if len(out) > 0 && out[len(out)-1].kind == lLabel && !strings.HasPrefix(text, ".") {
+				// The directive shared its line with a peeled label.
+				raw = "\t" + trimmed
+			}
+			out = append(out, &line{kind: lDirective, raw: raw})
+			continue
+		}
+		mn := trimmed
+		var ops []string
+		if i := strings.IndexAny(trimmed, " \t"); i >= 0 {
+			mn = trimmed[:i]
+			rest := strings.TrimSpace(trimmed[i+1:])
+			if rest != "" {
+				for _, o := range strings.Split(rest, ",") {
+					ops = append(ops, strings.TrimSpace(o))
+				}
+			}
+		}
+		out = append(out, &line{kind: lInstr, mn: mn, ops: ops})
+	}
+	return out
+}
+
+func render(lines []*line) string {
+	var b strings.Builder
+	for _, l := range lines {
+		if l == nil {
+			continue
+		}
+		b.WriteString(l.render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Optimize applies the peephole rules to a fixed point and returns the
+// improved assembly and the applications performed.
+func Optimize(src string) (string, Stats) {
+	lines := parse(src)
+	var st Stats
+	before := countInstrs(lines)
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		changed = removeJumpToNext(lines, &st) || changed
+		changed = collapseJumpChains(lines, &st) || changed
+		changed = invertBranchOverJump(lines, &st) || changed
+		changed = removeRedundantMoves(lines, &st) || changed
+		changed = removeRedundantTst(lines, &st) || changed
+		changed = introduceAutoStep(lines, &st) || changed
+		changed = dropDeadLabels(lines, &st) || changed
+		lines = compact(lines)
+		if !changed {
+			break
+		}
+	}
+	st.LinesRemoved = before - countInstrs(lines)
+	return render(lines), st
+}
+
+func countInstrs(lines []*line) int {
+	n := 0
+	for _, l := range lines {
+		if l != nil && l.kind == lInstr {
+			n++
+		}
+	}
+	return n
+}
+
+func compact(lines []*line) []*line {
+	out := lines[:0]
+	for _, l := range lines {
+		if l != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// isBranch reports whether the mnemonic transfers control.
+func isBranch(mn string) bool {
+	switch mn {
+	case "jbr", "jeql", "jneq", "jlss", "jleq", "jgtr", "jgeq",
+		"jlssu", "jlequ", "jgtru", "jgequ", "calls", "ret":
+		return true
+	}
+	return false
+}
+
+// invert maps each conditional jump to its complement.
+var invert = map[string]string{
+	"jeql": "jneq", "jneq": "jeql",
+	"jlss": "jgeq", "jgeq": "jlss",
+	"jleq": "jgtr", "jgtr": "jleq",
+	"jlssu": "jgequ", "jgequ": "jlssu",
+	"jlequ": "jgtru", "jgtru": "jlequ",
+}
+
+// next returns the index of the next non-nil line at or after i, or -1.
+func next(lines []*line, i int) int {
+	for ; i < len(lines); i++ {
+		if lines[i] != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// nextInstrSameBlock returns the next instruction index if no label or
+// directive intervenes, else -1.
+func nextInstrSameBlock(lines []*line, i int) int {
+	for j := i + 1; j < len(lines); j++ {
+		l := lines[j]
+		if l == nil {
+			continue
+		}
+		if l.kind != lInstr {
+			return -1
+		}
+		return j
+	}
+	return -1
+}
+
+// labelTargets collects, for each label, the index of its definition.
+func labelDefs(lines []*line) map[string]int {
+	defs := make(map[string]int)
+	for i, l := range lines {
+		if l != nil && l.kind == lLabel {
+			defs[l.label] = i
+		}
+	}
+	return defs
+}
+
+func removeJumpToNext(lines []*line, st *Stats) bool {
+	changed := false
+	for i, l := range lines {
+		if l == nil || l.kind != lInstr || l.mn != "jbr" || len(l.ops) != 1 {
+			continue
+		}
+		// Every following line until the first instruction must be a label;
+		// if one of them is the target, the jump is redundant.
+		for j := i + 1; j < len(lines); j++ {
+			m := lines[j]
+			if m == nil {
+				continue
+			}
+			if m.kind != lLabel {
+				break
+			}
+			if m.label == l.ops[0] {
+				lines[i] = nil
+				st.JumpsToNext++
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func collapseJumpChains(lines []*line, st *Stats) bool {
+	defs := labelDefs(lines)
+	changed := false
+	for _, l := range lines {
+		if l == nil || l.kind != lInstr || len(l.ops) == 0 {
+			continue
+		}
+		if _, cond := invert[l.mn]; !cond && l.mn != "jbr" {
+			continue
+		}
+		target := l.ops[len(l.ops)-1]
+		for hops := 0; hops < 4; hops++ {
+			di, ok := defs[target]
+			if !ok {
+				break
+			}
+			ni := nextInstrSameBlockFromLabel(lines, di)
+			if ni < 0 || lines[ni].mn != "jbr" || len(lines[ni].ops) != 1 {
+				break
+			}
+			nt := lines[ni].ops[0]
+			if nt == target {
+				break // self loop
+			}
+			target = nt
+		}
+		if target != l.ops[len(l.ops)-1] {
+			l.ops[len(l.ops)-1] = target
+			st.JumpChains++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// nextInstrSameBlockFromLabel finds the first instruction after a label,
+// skipping further labels (they all name the same point).
+func nextInstrSameBlockFromLabel(lines []*line, i int) int {
+	for j := i + 1; j < len(lines); j++ {
+		l := lines[j]
+		if l == nil || l.kind == lLabel {
+			continue
+		}
+		if l.kind == lInstr {
+			return j
+		}
+		return -1
+	}
+	return -1
+}
+
+func invertBranchOverJump(lines []*line, st *Stats) bool {
+	changed := false
+	for i, l := range lines {
+		if l == nil || l.kind != lInstr {
+			continue
+		}
+		inv, ok := invert[l.mn]
+		if !ok || len(l.ops) != 1 {
+			continue
+		}
+		j := nextInstrSameBlock(lines, i)
+		if j < 0 || lines[j].mn != "jbr" || len(lines[j].ops) != 1 {
+			continue
+		}
+		// The conditional's target must be the line right after the jbr.
+		found := false
+		for k := j + 1; k < len(lines); k++ {
+			m := lines[k]
+			if m == nil {
+				continue
+			}
+			if m.kind != lLabel {
+				break
+			}
+			if m.label == l.ops[0] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		l.mn = inv
+		l.ops[0] = lines[j].ops[0]
+		lines[j] = nil
+		st.InvertedOver++
+		changed = true
+	}
+	return changed
+}
+
+// writesResult reports whether the instruction's last operand is a
+// destination whose value the condition codes describe afterwards.
+func writesResult(mn string) bool {
+	switch {
+	case strings.HasPrefix(mn, "mov") && mn != "moval",
+		strings.HasPrefix(mn, "cvt"),
+		strings.HasPrefix(mn, "add"), strings.HasPrefix(mn, "sub"),
+		strings.HasPrefix(mn, "mul"), strings.HasPrefix(mn, "div"),
+		strings.HasPrefix(mn, "bis"), strings.HasPrefix(mn, "bic"),
+		strings.HasPrefix(mn, "xor"), strings.HasPrefix(mn, "mneg"),
+		strings.HasPrefix(mn, "mcom"), strings.HasPrefix(mn, "inc"),
+		strings.HasPrefix(mn, "dec"), strings.HasPrefix(mn, "clr"),
+		mn == "ashl", mn == "extzv":
+		return true
+	}
+	return false
+}
+
+// suffixSize maps a type-suffix letter to its operand size.
+func suffixSize(c byte) int {
+	switch c {
+	case 'b':
+		return 1
+	case 'w':
+		return 2
+	case 'l', 'f':
+		return 4
+	case 'd':
+		return 8
+	}
+	return 0
+}
+
+// opSize extracts the operand size of a typed mnemonic ("movb" -> 1).
+func opSize(mn string) int {
+	for i := len(mn) - 1; i >= 0; i-- {
+		c := mn[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		return suffixSize(c)
+	}
+	return 0
+}
+
+func removeRedundantMoves(lines []*line, st *Stats) bool {
+	changed := false
+	for i, l := range lines {
+		if l == nil || l.kind != lInstr || !strings.HasPrefix(l.mn, "mov") || l.mn == "moval" || strings.HasPrefix(l.mn, "movz") {
+			continue
+		}
+		if len(l.ops) == 2 && l.ops[0] == l.ops[1] && !hasSideEffect(l.ops[0]) {
+			lines[i] = nil
+			st.RedundantMoves++
+			changed = true
+			continue
+		}
+		// mov a,b ; mov b,a  — the reload is redundant.
+		j := nextInstrSameBlock(lines, i)
+		if j < 0 {
+			continue
+		}
+		m := lines[j]
+		if m.kind == lInstr && m.mn == l.mn && len(m.ops) == 2 && len(l.ops) == 2 &&
+			m.ops[0] == l.ops[1] && m.ops[1] == l.ops[0] &&
+			!hasSideEffect(l.ops[0]) && !hasSideEffect(l.ops[1]) {
+			lines[j] = nil
+			st.RedundantMoves++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// hasSideEffect reports whether formatting the operand again would change
+// machine state (autoincrement modes) or depends on the stack pointer.
+func hasSideEffect(op string) bool {
+	return strings.HasSuffix(op, ")+") || strings.HasPrefix(op, "-(") ||
+		strings.Contains(op, "(sp)")
+}
+
+func removeRedundantTst(lines []*line, st *Stats) bool {
+	changed := false
+	var prev *line
+	for i, l := range lines {
+		if l == nil {
+			continue
+		}
+		if l.kind != lInstr {
+			prev = nil
+			continue
+		}
+		if strings.HasPrefix(l.mn, "tst") && len(l.ops) == 1 && prev != nil &&
+			writesResult(prev.mn) && len(prev.ops) > 0 &&
+			prev.ops[len(prev.ops)-1] == l.ops[0] &&
+			opSize(prev.mn) == opSize(l.mn) &&
+			!hasSideEffect(l.ops[0]) {
+			lines[i] = nil
+			st.RedundantTst++
+			changed = true
+			continue // prev still describes the codes for a further tst
+		}
+		prev = l
+	}
+	return changed
+}
+
+// introduceAutoStep rewrites
+//
+//	op ... (rN) ... ; addl2 $size,rN   =>   op ... (rN)+ ...
+//	subl2 $size,rN ; op ... (rN) ...   =>   op ... -(rN) ...
+//
+// when rN appears exactly once in the operation — §6.1's autoincrement
+// improvement by post analysis of a basic block.
+func introduceAutoStep(lines []*line, st *Stats) bool {
+	changed := false
+	for i, l := range lines {
+		if l == nil || l.kind != lInstr {
+			continue
+		}
+		j := nextInstrSameBlock(lines, i)
+		if j < 0 {
+			continue
+		}
+		m := lines[j]
+		// Post-increment: l uses (rN), m is addl2 $size,rN.
+		if m.mn == "addl2" && len(m.ops) == 2 && isBranch(l.mn) == false {
+			if reg, size, ok := stepOf(m); ok && size == opSize(l.mn) {
+				if k, ok := soleRegDefUse(l, reg); ok {
+					l.ops[k] = "(" + reg + ")+"
+					lines[j] = nil
+					st.AutoInc++
+					changed = true
+					continue
+				}
+			}
+		}
+		// Pre-decrement: l is subl2 $size,rN, m uses (rN).
+		if l.mn == "subl2" && len(l.ops) == 2 && m.kind == lInstr && !isBranch(m.mn) {
+			if reg, size, ok := stepOf(l); ok && size == opSize(m.mn) {
+				if k, ok := soleRegDefUse(m, reg); ok {
+					m.ops[k] = "-(" + reg + ")"
+					lines[i] = nil
+					st.AutoDec++
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// stepOf decodes addl2/subl2 $k,rN into (register, k).
+func stepOf(l *line) (reg string, size int, ok bool) {
+	if len(l.ops) != 2 || !strings.HasPrefix(l.ops[0], "$") || !isRegName(l.ops[1]) {
+		return "", 0, false
+	}
+	k, err := strconv.Atoi(l.ops[0][1:])
+	if err != nil || k <= 0 {
+		return "", 0, false
+	}
+	return l.ops[1], k, true
+}
+
+func isRegName(s string) bool {
+	if s == "ap" || s == "fp" || s == "sp" {
+		return false // stepping the frame registers is never an autoinc
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		return err == nil && n >= 0 && n <= 11
+	}
+	return false
+}
+
+// soleRegDefUse returns the operand index where the register appears as a
+// plain deferred operand "(rN)", provided the register occurs nowhere else
+// in the instruction.
+func soleRegDefUse(l *line, reg string) (int, bool) {
+	idx := -1
+	for i, op := range l.ops {
+		if op == "("+reg+")" {
+			if idx >= 0 {
+				return 0, false
+			}
+			idx = i
+			continue
+		}
+		if strings.Contains(op, reg) {
+			return 0, false
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+func dropDeadLabels(lines []*line, st *Stats) bool {
+	used := make(map[string]bool)
+	for _, l := range lines {
+		if l == nil || l.kind != lInstr {
+			continue
+		}
+		for _, op := range l.ops {
+			used[op] = true
+			if i := strings.IndexByte(op, '+'); i > 0 {
+				used[op[:i]] = true
+			}
+		}
+	}
+	changed := false
+	for i, l := range lines {
+		if l == nil || l.kind != lLabel {
+			continue
+		}
+		if strings.HasPrefix(l.label, "_") {
+			continue // function entries and data symbols stay
+		}
+		if !used[l.label] {
+			lines[i] = nil
+			st.DeadLabels++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// String summarizes the statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"moves %d, tst %d, jumps-to-next %d, chains %d, inverted %d, autoinc %d, autodec %d, dead labels %d, %d lines removed",
+		s.RedundantMoves, s.RedundantTst, s.JumpsToNext, s.JumpChains,
+		s.InvertedOver, s.AutoInc, s.AutoDec, s.DeadLabels, s.LinesRemoved)
+}

@@ -1,0 +1,203 @@
+package peep
+
+import (
+	"strings"
+	"testing"
+)
+
+func optimize(t *testing.T, src string) (string, Stats) {
+	t.Helper()
+	out, st := Optimize(src)
+	return out, st
+}
+
+func TestRedundantSelfMove(t *testing.T) {
+	out, st := optimize(t, "\tmovl\tr0,r0\n\tret\n")
+	if strings.Contains(out, "movl") {
+		t.Errorf("self move survived:\n%s", out)
+	}
+	if st.RedundantMoves != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStoreReloadPair(t *testing.T) {
+	out, st := optimize(t, "\tmovl\tr0,-4(fp)\n\tmovl\t-4(fp),r0\n\tret\n")
+	if strings.Count(out, "movl") != 1 {
+		t.Errorf("reload survived:\n%s", out)
+	}
+	if st.RedundantMoves != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// A label between the pair blocks the rule.
+	out2, _ := optimize(t, "\tmovl\tr0,-4(fp)\nL1:\tmovl\t-4(fp),r0\n\ttstl\tr0\n\tjeql\tL1\n\tret\n")
+	if strings.Count(out2, "movl") != 2 {
+		t.Errorf("reload across a label was removed:\n%s", out2)
+	}
+}
+
+func TestRedundantTstAfterResult(t *testing.T) {
+	out, st := optimize(t, "\tmovl\t_x,r0\n\ttstl\tr0\n\tjeql\tL1\nL1:\tret\n")
+	if strings.Contains(out, "tstl") {
+		t.Errorf("tst after mov survived:\n%s", out)
+	}
+	if st.RedundantTst != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Different sizes must not match.
+	out2, _ := optimize(t, "\tmovl\t_x,r0\n\ttstb\tr0\n\tjeql\tL1\nL1:\tret\n")
+	if !strings.Contains(out2, "tstb") {
+		t.Errorf("size-mismatched tst removed:\n%s", out2)
+	}
+	// A label between blocks the rule.
+	out3, _ := optimize(t, "\tmovl\t_x,r0\nL2:\ttstl\tr0\n\tjeql\tL2\n\tret\n")
+	if !strings.Contains(out3, "tstl") {
+		t.Errorf("tst across a label removed:\n%s", out3)
+	}
+}
+
+func TestJumpToNext(t *testing.T) {
+	out, st := optimize(t, "\tjbr\tL1\nL1:\ttstl\tr0\n\tjeql\tL1\n\tret\n")
+	if strings.Contains(out, "jbr") {
+		t.Errorf("jump to next survived:\n%s", out)
+	}
+	if st.JumpsToNext != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestJumpChainCollapse(t *testing.T) {
+	src := "\tjbr\tL1\n\tret\nL1:\tjbr\tL2\n\tret\nL2:\tret\n"
+	out, st := optimize(t, src)
+	if st.JumpChains == 0 {
+		t.Errorf("chain not collapsed:\n%s", out)
+	}
+	if !strings.Contains(out, "jbr\tL2") {
+		t.Errorf("first jump does not go to L2:\n%s", out)
+	}
+}
+
+func TestBranchOverJumpInversion(t *testing.T) {
+	src := "\tcmpl\tr0,$1\n\tjeql\tL1\n\tjbr\tL2\nL1:\tincl\tr0\n\tjbr\tL1\nL2:\tret\n"
+	out, st := optimize(t, src)
+	if st.InvertedOver != 1 {
+		t.Errorf("stats = %+v\n%s", st, out)
+	}
+	if !strings.Contains(out, "jneq\tL2") {
+		t.Errorf("branch not inverted:\n%s", out)
+	}
+}
+
+func TestAutoIncrementIntroduction(t *testing.T) {
+	src := "\tmovl\t(r6),r0\n\taddl2\t$4,r6\n\ttstl\tr6\n\tjeql\tL1\nL1:\tret\n"
+	out, st := optimize(t, src)
+	if st.AutoInc != 1 {
+		t.Errorf("stats = %+v\n%s", st, out)
+	}
+	if !strings.Contains(out, "movl\t(r6)+,r0") {
+		t.Errorf("no autoincrement:\n%s", out)
+	}
+	if strings.Contains(out, "addl2\t$4,r6") {
+		t.Errorf("step instruction survived:\n%s", out)
+	}
+}
+
+func TestAutoIncrementSizeMustMatch(t *testing.T) {
+	// A byte move stepping by 4 is not the autoincrement mode.
+	src := "\tmovb\t(r6),r0\n\taddl2\t$4,r6\n\ttstl\tr6\n\tjeql\tL1\nL1:\tret\n"
+	out, st := optimize(t, src)
+	if st.AutoInc != 0 || strings.Contains(out, ")+") {
+		t.Errorf("wrong-size autoincrement introduced:\n%s", out)
+	}
+}
+
+func TestAutoIncrementRegReuseBlocked(t *testing.T) {
+	// The stepped register appears twice: not rewritable.
+	src := "\taddl3\t(r6),(r6),r0\n\taddl2\t$4,r6\n\ttstl\tr6\n\tjeql\tL1\nL1:\tret\n"
+	out, st := optimize(t, src)
+	if st.AutoInc != 0 || strings.Contains(out, ")+") {
+		t.Errorf("unsafe autoincrement introduced:\n%s", out)
+	}
+}
+
+func TestAutoDecrementIntroduction(t *testing.T) {
+	src := "\tsubl2\t$4,r7\n\tmovl\t(r7),r0\n\ttstl\tr7\n\tjeql\tL1\nL1:\tret\n"
+	out, st := optimize(t, src)
+	if st.AutoDec != 1 {
+		t.Errorf("stats = %+v\n%s", st, out)
+	}
+	if !strings.Contains(out, "movl\t-(r7),r0") {
+		t.Errorf("no autodecrement:\n%s", out)
+	}
+}
+
+func TestFramePointerNeverStepped(t *testing.T) {
+	src := "\tmovl\t(fp),r0\n\taddl2\t$4,fp\n\ttstl\tr0\n\tjeql\tL1\nL1:\tret\n"
+	out, st := optimize(t, src)
+	if st.AutoInc != 0 || strings.Contains(out, "(fp)+") {
+		t.Errorf("frame pointer stepped:\n%s", out)
+	}
+}
+
+func TestDeadLabelRemoval(t *testing.T) {
+	src := "L1:\tret\nL2:\tret\n\tjbr\tL1\n"
+	out, st := optimize(t, src)
+	if strings.Contains(out, "L2:") {
+		t.Errorf("dead label survived:\n%s", out)
+	}
+	if !strings.Contains(out, "L1:") {
+		t.Errorf("live label removed:\n%s", out)
+	}
+	if st.DeadLabels == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFunctionLabelsKept(t *testing.T) {
+	src := ".globl _f\n_f:\t.word 0\n\tret\n"
+	out, _ := optimize(t, src)
+	if !strings.Contains(out, "_f:") || !strings.Contains(out, ".word 0") {
+		t.Errorf("function header damaged:\n%s", out)
+	}
+}
+
+func TestDirectivesPreserved(t *testing.T) {
+	src := ".data\n.comm _x,4\n.text\n_f:\t.word 0\n\tmovl\t$1,_x\n\tret\n"
+	out, _ := optimize(t, src)
+	for _, want := range []string{".data", ".comm _x,4", ".text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("directive %q lost:\n%s", want, out)
+		}
+	}
+}
+
+func TestSideEffectOperandsUntouched(t *testing.T) {
+	// Autoincrement operands must not be deduplicated.
+	src := "\tmovl\t(r6)+,(r6)+\n\tret\n"
+	out, st := optimize(t, src)
+	if st.RedundantMoves != 0 || !strings.Contains(out, "movl") {
+		t.Errorf("side-effecting move removed:\n%s", out)
+	}
+	// Pushes through sp must stay.
+	src2 := "\tmovl\tr0,-(sp)\n\tmovl\t-(sp),r0\n\tret\n"
+	out2, _ := optimize(t, src2)
+	if strings.Count(out2, "movl") != 2 {
+		t.Errorf("stack moves removed:\n%s", out2)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{RedundantMoves: 1, AutoInc: 2}
+	if !strings.Contains(s.String(), "autoinc 2") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestFixpointTerminates(t *testing.T) {
+	// A loop of jumps must not send the optimizer into a cycle.
+	src := "L1:\tjbr\tL2\nL2:\tjbr\tL1\n"
+	out, _ := optimize(t, src)
+	if out == "" {
+		t.Error("optimizer deleted a live loop")
+	}
+}

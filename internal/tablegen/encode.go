@@ -1,0 +1,76 @@
+package tablegen
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ggcg/internal/cgram"
+)
+
+// wireTables is the serialized form of Tables. The grammar travels as its
+// textual rendering so the two sides agree on production indices and symbol
+// numbering, which are derived deterministically from the text.
+type wireTables struct {
+	GrammarText string
+	Start       string
+	Action      [][]Action
+	Goto        [][]int32
+	Choices     [][]int32
+	Conflicts   []Conflict
+	SemBlocks   []SemBlock
+	Stats       BuildStats
+}
+
+// Encode writes the tables in a binary form Decode can read, so that the
+// static table-construction step can be run once per target machine and
+// its output shipped with the code generator (§3).
+func (t *Tables) Encode(w io.Writer) error {
+	wt := wireTables{
+		GrammarText: t.Grammar.String(),
+		Start:       t.Grammar.Start,
+		Action:      t.Action,
+		Goto:        t.Goto,
+		Choices:     t.Choices,
+		Conflicts:   t.Conflicts,
+		SemBlocks:   t.SemBlocks,
+		Stats:       t.Stats,
+	}
+	return gob.NewEncoder(w).Encode(&wt)
+}
+
+// Decode reads tables written by Encode.
+func Decode(r io.Reader) (*Tables, error) {
+	var wt wireTables
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("tablegen: decode: %v", err)
+	}
+	g, err := cgram.Parse(wt.GrammarText)
+	if err != nil {
+		return nil, fmt.Errorf("tablegen: decode grammar: %v", err)
+	}
+	t := &Tables{
+		Grammar:   g,
+		Terms:     g.Terminals(),
+		Nonterms:  append(append([]string{}, g.Nonterminals()...), g.Start+"'"),
+		Action:    wt.Action,
+		Goto:      wt.Goto,
+		Choices:   wt.Choices,
+		Conflicts: wt.Conflicts,
+		SemBlocks: wt.SemBlocks,
+		Stats:     wt.Stats,
+		termID:    make(map[string]int),
+		ntID:      make(map[string]int),
+	}
+	for i, s := range t.Terms {
+		t.termID[s] = i
+	}
+	for i, s := range t.Nonterms {
+		t.ntID[s] = i
+	}
+	if len(t.Action) > 0 && len(t.Action[0]) != len(t.Terms)+1 {
+		return nil, fmt.Errorf("tablegen: decode: table width %d does not match %d terminals",
+			len(t.Action[0]), len(t.Terms))
+	}
+	return t, nil
+}

@@ -1,0 +1,155 @@
+package transform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ggcg/internal/ir"
+)
+
+// randTree builds a deterministic pseudo-random integer tree for the
+// canonicalization properties.
+func randTree(seed int64) *ir.Node {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int(s >> 33)
+	}
+	var build func(d int) *ir.Node
+	build = func(d int) *ir.Node {
+		if d > 4 || next()%3 == 0 {
+			switch next() % 4 {
+			case 0:
+				return ir.SmallConst(int64(next()%2000 - 1000))
+			case 1:
+				return ir.GlobalRef(ir.Long, "g")
+			case 2:
+				return ir.FrameRef(ir.Long, -4*(1+next()%8))
+			default:
+				return ir.NewDreg(ir.Long, 6+next()%6)
+			}
+		}
+		ops := []ir.Op{ir.Plus, ir.Minus, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Div, ir.Lsh}
+		op := ops[next()%len(ops)]
+		return ir.Bin(op, ir.Long, build(d+1), build(d+1))
+	}
+	return build(0)
+}
+
+// Property: canon is idempotent — a second pass changes nothing.
+func TestCanonIdempotent(t *testing.T) {
+	c := &ctx{f: &ir.Func{Name: "t"}}
+	f := func(seed int64) bool {
+		once := c.canon(randTree(seed))
+		twice := c.canon(once.Clone())
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after canon, no commutative operator has a constant right
+// child with a non-constant left child, no Minus has a constant right
+// child, and no Lsh by a small constant remains.
+func TestCanonPostconditions(t *testing.T) {
+	c := &ctx{f: &ir.Func{Name: "t"}}
+	f := func(seed int64) bool {
+		n := c.canon(randTree(seed))
+		ok := true
+		n.Walk(func(m *ir.Node) bool {
+			if len(m.Kids) == 2 && m.Op.IsCommutative() &&
+				m.Kids[1].Op == ir.Const && m.Kids[0].Op != ir.Const {
+				ok = false
+			}
+			if m.Op == ir.Minus && m.Kids[1].Op == ir.Const {
+				ok = false
+			}
+			if m.Op == ir.Lsh && m.Kids[1].Op == ir.Const &&
+				m.Kids[1].Val >= 0 && m.Kids[1].Val < 31 {
+				ok = false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: order is idempotent and never changes the multiset of leaves.
+func TestOrderIdempotent(t *testing.T) {
+	c := &ctx{f: &ir.Func{Name: "t"}}
+	f := func(seed int64) bool {
+		once := c.order(randTree(seed))
+		twice := c.order(once.Clone())
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after order, for every reorderable binary node the left
+// register need is at least the right one, or the left side is free.
+func TestOrderPostcondition(t *testing.T) {
+	c := &ctx{f: &ir.Func{Name: "t"}}
+	reorderable := func(op ir.Op) bool {
+		switch op {
+		case ir.Plus, ir.Minus, ir.Mul, ir.Div, ir.Mod, ir.And, ir.Or, ir.Xor, ir.Lsh, ir.Rsh, ir.Assign:
+			return true
+		}
+		return false
+	}
+	f := func(seed int64) bool {
+		n := c.order(c.canon(randTree(seed)))
+		ok := true
+		n.Walk(func(m *ir.Node) bool {
+			if len(m.Kids) == 2 && reorderable(m.Op) {
+				na, nb := regNeed(m.Kids[0]), regNeed(m.Kids[1])
+				// The invariant order establishes: either the left side
+				// needs no registers (it is a free operand) or it needs at
+				// least as many as the right, or the operator could not be
+				// exchanged (non-commutative without a reverse form is
+				// still rewritten, so only na >= 1 cases must hold).
+				if na >= 1 && nb > na && (m.Op.IsCommutative() || hasReverse(m.Op)) {
+					ok = false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hasReverse(op ir.Op) bool {
+	_, ok := op.Reverse()
+	return ok
+}
+
+// Property: regNeed of any leaf or addressing-shaped fetch is zero, and of
+// any computed node at least one.
+func TestRegNeedBasics(t *testing.T) {
+	if regNeed(ir.SmallConst(5)) != 0 {
+		t.Error("constant needs a register?")
+	}
+	if regNeed(ir.GlobalRef(ir.Long, "g")) != 0 {
+		t.Error("global fetch is a free operand")
+	}
+	if regNeed(ir.FrameRef(ir.Long, -8)) != 0 {
+		t.Error("frame fetch is a free operand")
+	}
+	add := ir.Bin(ir.Plus, ir.Long, ir.GlobalRef(ir.Long, "a"), ir.GlobalRef(ir.Long, "b"))
+	if regNeed(add) != 1 {
+		t.Errorf("simple add needs %d registers, want 1", regNeed(add))
+	}
+	deep := ir.Bin(ir.Plus, ir.Long, add, ir.Bin(ir.Plus, ir.Long,
+		ir.GlobalRef(ir.Long, "c"), ir.GlobalRef(ir.Long, "d")))
+	if regNeed(deep) != 2 {
+		t.Errorf("balanced add tree needs %d, want 2", regNeed(deep))
+	}
+}

@@ -1,0 +1,142 @@
+package vax
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ggcg/internal/ir"
+)
+
+// floatBits returns the memory image of a floating initializer.
+func floatBits(t ir.Type, v float64) uint64 {
+	if t == ir.Float {
+		return uint64(math.Float32bits(float32(v)))
+	}
+	return math.Float64bits(v)
+}
+
+// Emitter accumulates assembly output (phase 4, §5.4) and tracks the
+// little state the instruction generator needs about what was last
+// emitted: which register the previous instruction set, so the
+// condition-code branch patterns can verify their assumption (§6.1).
+type Emitter struct {
+	buf   strings.Builder
+	lines int
+
+	lastResultReg int // register the last emitted instruction targeted, or -1
+
+	// TstBackstops counts the defensive tst instructions inserted when a
+	// condition-code pattern was selected but the register was not set by
+	// the immediately preceding instruction (see §6.2.1: remaining
+	// overfactoring shows up exactly here).
+	TstBackstops int
+}
+
+// NewEmitter returns an empty emitter.
+func NewEmitter() *Emitter {
+	return &Emitter{lastResultReg: -1}
+}
+
+// Emit appends one instruction.
+func (e *Emitter) Emit(mn string, ops ...string) {
+	e.buf.WriteByte('\t')
+	e.buf.WriteString(mn)
+	if len(ops) > 0 {
+		e.buf.WriteByte('\t')
+		e.buf.WriteString(strings.Join(ops, ","))
+	}
+	e.buf.WriteByte('\n')
+	e.lines++
+	e.lastResultReg = -1
+}
+
+// EmitResult appends an instruction whose last operand is the destination
+// operand; when that destination is a register the condition codes
+// describe it afterwards.
+func (e *Emitter) EmitResult(mn string, dst *Operand, ops ...string) {
+	e.Emit(mn, append(ops, dst.Asm())...)
+	if dst.Mode == OReg {
+		e.lastResultReg = dst.Reg
+	}
+}
+
+// LastSet reports whether the most recently emitted instruction set the
+// condition codes for register r.
+func (e *Emitter) LastSet(r int) bool { return e.lastResultReg == r }
+
+// Label defines a local label.
+func (e *Emitter) Label(id int) {
+	fmt.Fprintf(&e.buf, "L%d:\n", id)
+	e.lastResultReg = -1
+}
+
+// Raw appends a raw line (directives, function headers).
+func (e *Emitter) Raw(line string) {
+	e.buf.WriteString(line)
+	e.buf.WriteByte('\n')
+	e.lastResultReg = -1
+}
+
+// Lines returns the number of instructions emitted so far.
+func (e *Emitter) Lines() int { return e.lines }
+
+// Append merges another emitter's output (used to stitch a function body,
+// generated separately so the final frame size is known, after its header).
+func (e *Emitter) Append(body *Emitter) {
+	e.buf.WriteString(body.buf.String())
+	e.lines += body.lines
+	e.TstBackstops += body.TstBackstops
+	e.lastResultReg = -1
+}
+
+// String returns the accumulated assembly text.
+func (e *Emitter) String() string { return e.buf.String() }
+
+// EmitGlobals writes the data directives for a unit's globals.
+func EmitGlobals(e *Emitter, globals []ir.Global) {
+	if len(globals) == 0 {
+		return
+	}
+	e.Raw(".data")
+	for _, g := range globals {
+		size := g.Size
+		if size == 0 {
+			size = g.Type.Size()
+		}
+		if !g.HasInit {
+			fmt.Fprintf(&e.buf, ".comm _%s,%d\n", g.Name, size)
+			continue
+		}
+		e.Raw(".align 2")
+		e.Raw("_" + g.Name + ":")
+		if g.Type.IsFloat() {
+			bits := floatBits(g.Type, g.FInit)
+			if g.Type == ir.Float {
+				fmt.Fprintf(&e.buf, "\t.long %d\n", int64(int32(bits)))
+			} else {
+				fmt.Fprintf(&e.buf, "\t.long %d,%d\n", int64(int32(bits)), int64(int32(bits>>32)))
+			}
+			continue
+		}
+		switch g.Type.Size() {
+		case 1:
+			fmt.Fprintf(&e.buf, "\t.byte %d\n", int8(g.Init))
+		case 2:
+			fmt.Fprintf(&e.buf, "\t.byte %d,%d\n", int8(g.Init), int8(g.Init>>8))
+		default:
+			fmt.Fprintf(&e.buf, "\t.long %d\n", int64(int32(g.Init)))
+		}
+	}
+	e.Raw(".text")
+}
+
+// FuncHeader emits the label and entry mask for a function and allocates
+// its frame.
+func FuncHeader(e *Emitter, name string, frameBytes int) {
+	e.Raw(fmt.Sprintf(".globl _%s", name))
+	e.Raw("_" + name + ":\t.word 0")
+	if frameBytes > 0 {
+		e.Emit("subl2", fmt.Sprintf("$%d", frameBytes), "sp")
+	}
+}

@@ -1,0 +1,224 @@
+package vax
+
+// GenericGrammar is the machine description for the VAX subset, written in
+// the generic (pre-replication) form of §6.4: productions whose types vary
+// consistently use the $t/$S replication macros and are expanded by the
+// mdgen preprocessor; the data-conversion sub-grammar, whose type variation
+// is a cross product, is written out by hand, exactly as the paper did.
+//
+// Grammar conventions (§3.1): terminals are capitalized intermediate-
+// language node labels in prefix linearized form; nonterminals are
+//
+//	stmt     the sentential nonterminal
+//	reg.t    a value of type t computed into an allocatable register
+//	rval.t   a readable operand (any addressing mode)
+//	lval.t   an assignable operand
+//	mem.t    a memory operand (an encapsulated addressing mode)
+//	con      an integer constant (the special constants Zero/One/Two/
+//	         Four/Eight have their own terminals, §6.3)
+//
+// Ambiguities are resolved by the table constructor's shift preference and
+// longest-rule rule (maximal munch); remaining same-length ties become
+// dynamic choices resolved in grammar order, which is why the immediate
+// productions are listed with wider types first (a constant in a long
+// context is used as a long immediate directly rather than converted).
+//
+// The CBranch patterns reproduce the condition-code treatment of §6.1 and
+// the overfactoring repair of §6.2.1: a dedicated register or phase-1
+// register reaching a branch gets an explicit tst, while a value computed
+// by the immediately preceding instruction uses the codes it already set.
+const GenericGrammar = `
+%start stmt
+
+# ---- integer constants --------------------------------------------------
+con -> Const.b ; action=con
+con -> Const.w ; action=con
+con -> Const.l ; action=con
+con -> Zero    ; action=con
+con -> One     ; action=con
+con -> Two     ; action=con
+con -> Four    ; action=con
+con -> Eight   ; action=con
+
+# Immediates: wider types first so dynamic choice picks the direct use.
+rval.d -> con ; action=imm.d
+rval.f -> con ; action=imm.f
+rval.l -> con ; action=imm.l
+rval.w -> con ; action=imm.w
+rval.b -> con ; action=imm.b
+rval.f -> Const.f ; action=fcon.f
+rval.d -> Const.d ; action=fcon.d
+
+# ---- operand structure, replicated over every machine type --------------
+%replicate b w l f d
+reg.$t  -> Dreg.$t   ; action=dreg.$t
+reg.$t  -> RegUse.$t ; action=reguse.$t
+rval.$t -> mem.$t
+rval.$t -> reg.$t
+lval.$t -> mem.$t
+lval.$t -> Name.$t   ; action=abs.$t
+lval.$t -> Dreg.$t   ; action=dreg.$t
+reg.$t  -> mem.$t    ; action=load.$t
+
+# Addressing modes (encapsulating reductions, §5.2).
+mem.$t -> Indir.$t Name.$t                                  ; action=mabs.$t
+mem.$t -> Indir.$t Plus.l con Name.$t                       ; action=mabsoff.$t
+mem.$t -> Indir.$t reg.l                                    ; action=mregdef.$t
+mem.$t -> Indir.$t Dreg.l                                   ; action=mregdefd.$t
+mem.$t -> Indir.$t Plus.l con reg.l                         ; action=mdisp.$t
+mem.$t -> Indir.$t Plus.l con Dreg.l                        ; action=mdispd.$t
+mem.$t -> Indir.$t Plus.l con Plus.l con Dreg.l             ; action=mdispd2.$t
+mem.$t -> Indir.$t Plus.l Name.$t Mul.l $S reg.l            ; action=mnx.$t
+mem.$t -> Indir.$t Plus.l Plus.l con reg.l Mul.l $S reg.l   ; action=mdx.$t
+mem.$t -> Indir.$t Plus.l Plus.l con Dreg.l Mul.l $S reg.l  ; action=mdxd.$t
+mem.$t -> Indir.$t Plus.l Dreg.l Mul.l $S reg.l             ; action=mrxd.$t
+mem.$t -> Indir.$t Plus.l reg.l Mul.l $S reg.l              ; action=mrx.$t
+mem.$t -> Indir.$t PostInc.l Dreg.l $S                      ; action=mautoinc.$t
+mem.$t -> Indir.$t PreDec.l Dreg.l $S                       ; action=mautodec.$t
+
+# Deferred modes: a fetch whose address is itself a memory fetch of a
+# pointer becomes *d(r), *_sym or *(r) in one operand.
+mem.$t -> Indir.$t mem.l                                    ; action=mdef.$t
+
+# Bridge productions (§6.2.2): the indexed patterns above commit, by shift
+# preference, as soon as their shared left context appears, and would block
+# when the scale is not a special constant. These share that left context
+# and handle the general continuation with an explicit multiply and add.
+mem.$t -> Indir.$t Plus.l Plus.l con Dreg.l Mul.l rval.l rval.l ; action=mbrdxd.$t
+mem.$t -> Indir.$t Plus.l Plus.l con reg.l Mul.l rval.l rval.l  ; action=mbrdx.$t
+mem.$t -> Indir.$t Plus.l Dreg.l Mul.l rval.l rval.l            ; action=mbrrxd.$t
+mem.$t -> Indir.$t Plus.l reg.l Mul.l rval.l rval.l             ; action=mbrrx.$t
+mem.$t -> Indir.$t Plus.l Name.$t Mul.l rval.l rval.l           ; action=mbrnx.$t
+
+# The committed prefix may also continue with an arbitrary (unscaled)
+# index subtree, e.g. byte-array pointer arithmetic.
+mem.$t -> Indir.$t Plus.l Plus.l con Dreg.l rval.l              ; action=mbraddrd.$t
+mem.$t -> Indir.$t Plus.l Plus.l con reg.l rval.l               ; action=mbraddr.$t
+mem.$t -> Indir.$t Plus.l Name.$t rval.l                        ; action=mbrnameadd.$t
+
+# Arithmetic instructions.
+reg.$t -> Plus.$t rval.$t rval.$t   ; action=add.$t
+reg.$t -> Minus.$t rval.$t rval.$t  ; action=sub.$t
+reg.$t -> RMinus.$t rval.$t rval.$t ; action=rsub.$t
+reg.$t -> Mul.$t rval.$t rval.$t    ; action=mul.$t
+reg.$t -> Div.$t rval.$t rval.$t    ; action=div.$t
+reg.$t -> RDiv.$t rval.$t rval.$t   ; action=rdiv.$t
+reg.$t -> Neg.$t rval.$t            ; action=neg.$t
+
+# Assignments; the direct-call form keeps a call result out of a temporary
+# when the destination needs no address registers.
+stmt -> Assign.$t lval.$t rval.$t  ; action=asg.$t
+stmt -> RAssign.$t rval.$t lval.$t ; action=rasg.$t
+stmt -> Assign.$t lval.$t Call.$t  ; action=asgc.$t
+
+# A shared assignment a = b = c uses b's descriptor once as a destination
+# and once as a source (§6.1, footnote).
+rval.$t -> Assign.$t lval.$t rval.$t  ; action=asgv.$t
+rval.$t -> RAssign.$t rval.$t lval.$t ; action=rasgv.$t
+
+# Assignment-destination instruction forms: the pattern matcher presents
+# the instruction selector with a three-address instruction whose
+# destination is the assignment target, so the binding idiom can turn
+# a = a + x into addX2 and the range idiom into incX (Figure 3).
+stmt -> Assign.$t lval.$t Plus.$t rval.$t rval.$t   ; action=asgadd.$t
+stmt -> Assign.$t lval.$t Minus.$t rval.$t rval.$t  ; action=asgsub.$t
+stmt -> Assign.$t lval.$t Mul.$t rval.$t rval.$t    ; action=asgmul.$t
+stmt -> Assign.$t lval.$t Div.$t rval.$t rval.$t    ; action=asgdiv.$t
+stmt -> Assign.$t lval.$t Neg.$t rval.$t            ; action=asgneg.$t
+
+# Calls and returns.
+reg.$t -> Call.$t      ; action=call.$t
+stmt   -> Call.$t      ; action=callstmt.$t
+stmt   -> Ret.$t rval.$t ; action=ret.$t
+
+# Conditional branches (§6.1, §6.2.1).
+stmt -> CBranch Cmp.$t rval.$t rval.$t Label ; action=cmpbr.$t
+stmt -> CBranch Cmp.$t rval.$t Zero Label    ; action=tstbr.$t
+stmt -> CBranch Cmp.$t reg.$t Zero Label     ; action=ccbr.$t
+stmt -> CBranch Cmp.$t Dreg.$t Zero Label    ; action=dregbr.$t
+stmt -> CBranch Cmp.$t RegUse.$t Zero Label  ; action=regusebr.$t
+
+# Taking the address of a global.
+reg.l -> Name.$t ; action=addr.$t
+%end
+
+# ---- integer-only operators ---------------------------------------------
+%replicate b w l
+reg.$t -> Mod.$t rval.$t rval.$t  ; action=mod.$t
+reg.$t -> RMod.$t rval.$t rval.$t ; action=rmod.$t
+reg.$t -> And.$t rval.$t rval.$t  ; action=and.$t
+reg.$t -> Or.$t rval.$t rval.$t   ; action=or.$t
+reg.$t -> Xor.$t rval.$t rval.$t  ; action=xor.$t
+reg.$t -> Lsh.$t rval.$t rval.$t  ; action=lsh.$t
+reg.$t -> Rsh.$t rval.$t rval.$t  ; action=rsh.$t
+reg.$t -> RLsh.$t rval.$t rval.$t ; action=rlsh.$t
+reg.$t -> RRsh.$t rval.$t rval.$t ; action=rrsh.$t
+reg.$t -> Compl.$t rval.$t        ; action=compl.$t
+stmt -> Assign.$t lval.$t Or.$t rval.$t rval.$t  ; action=asgor.$t
+stmt -> Assign.$t lval.$t Xor.$t rval.$t rval.$t ; action=asgxor.$t
+stmt -> Assign.$t lval.$t Compl.$t rval.$t       ; action=asgcompl.$t
+%end
+
+# Taking the address of a local (moval off(fp),r).
+reg.l -> Plus.l con Dreg.l ; action=lea
+
+# Narrowing assignments: the typed move reads the low bytes directly.
+stmt -> Assign.b lval.b rval.w ; action=asgn.b
+stmt -> Assign.b lval.b rval.l ; action=asgn.b
+stmt -> Assign.w lval.w rval.l ; action=asgn.w
+
+# Argument pushes and value-less statements.
+stmt -> Arg.l rval.l ; action=arg.l
+stmt -> Arg.d rval.d ; action=arg.d
+stmt -> Jump Label   ; action=jump
+stmt -> Ret.v        ; action=retv
+stmt -> Call.v       ; action=callv
+
+# ---- the data-conversion sub-grammar ------------------------------------
+# Widening conversions are chain productions: the states of the replicated
+# grammar encode the expected type, so the pattern matcher inserts these
+# exactly where an operand's type disagrees with its context (§6.4). The
+# cross product is written by hand, as in the paper. Unsigned sources use
+# the move-zero-extended instructions; that choice is semantic (§6.5).
+# Wider targets come first: when several conversion chains tie in a
+# reduce/reduce choice, the widest converts the operand directly to the
+# context's type in one instruction.
+reg.d -> rval.f ; action=cvt.d
+reg.d -> rval.l ; action=cvt.d
+reg.d -> rval.w ; action=cvt.d
+reg.d -> rval.b ; action=cvt.d
+reg.f -> rval.l ; action=cvt.f
+reg.f -> rval.w ; action=cvt.f
+reg.f -> rval.b ; action=cvt.f
+reg.l -> rval.w ; action=cvt.l
+reg.l -> rval.b ; action=cvt.l
+reg.w -> rval.b ; action=cvt.w
+
+# Explicit conversion operators (narrowing casts, float-to-integer, and
+# the widening forms front ends rarely generate, §6.4).
+reg.w -> Cvt.bw rval.b ; action=cvt.w
+reg.l -> Cvt.bl rval.b ; action=cvt.l
+reg.l -> Cvt.wl rval.w ; action=cvt.l
+reg.f -> Cvt.bf rval.b ; action=cvt.f
+reg.f -> Cvt.wf rval.w ; action=cvt.f
+reg.f -> Cvt.lf rval.l ; action=cvt.f
+reg.d -> Cvt.bd rval.b ; action=cvt.d
+reg.d -> Cvt.wd rval.w ; action=cvt.d
+reg.d -> Cvt.ld rval.l ; action=cvt.d
+reg.d -> Cvt.fd rval.f ; action=cvt.d
+reg.b -> Cvt.wb rval.w ; action=cvt.b
+reg.b -> Cvt.lb rval.l ; action=cvt.b
+reg.w -> Cvt.lw rval.l ; action=cvt.w
+reg.b -> Cvt.fb rval.f ; action=cvt.b
+reg.w -> Cvt.fw rval.f ; action=cvt.w
+reg.l -> Cvt.fl rval.f ; action=cvt.l
+reg.b -> Cvt.db rval.d ; action=cvt.b
+reg.w -> Cvt.dw rval.d ; action=cvt.w
+reg.l -> Cvt.dl rval.d ; action=cvt.l
+reg.f -> Cvt.df rval.d ; action=cvt.f
+
+# Same-size re-typings (signedness changes) pass the operand through.
+rval.b -> Cvt.bb rval.b ; action=retype
+rval.w -> Cvt.ww rval.w ; action=retype
+rval.l -> Cvt.ll rval.l ; action=retype
+`

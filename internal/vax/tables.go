@@ -1,0 +1,63 @@
+package vax
+
+import (
+	"fmt"
+	"sync"
+
+	"ggcg/internal/cgram"
+	"ggcg/internal/ir"
+	"ggcg/internal/mdgen"
+	"ggcg/internal/tablegen"
+)
+
+// Grammar returns the type-replicated VAX machine description.
+func Grammar() (*cgram.Grammar, error) {
+	return GrammarFrom(GenericGrammar)
+}
+
+// GenericStats sizes the generic (pre-replication) description — the
+// "458 productions" row of the paper's §8 statistics table.
+func GenericStats() (cgram.Stats, error) {
+	g, err := cgram.Parse(mdgen.Generic(GenericGrammar))
+	if err != nil {
+		return cgram.Stats{}, err
+	}
+	return g.Stats(), nil
+}
+
+// GrammarFrom expands and parses a generic description text.
+func GrammarFrom(src string) (*cgram.Grammar, error) {
+	expanded, err := mdgen.Expand(src)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cgram.Parse(expanded)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(ir.TermArity); err != nil {
+		return nil, fmt.Errorf("vax: %v", err)
+	}
+	return g, nil
+}
+
+var (
+	tablesOnce sync.Once
+	tables     *tablegen.Tables
+	tablesErr  error
+)
+
+// Tables returns the constructed instruction-selection tables for the VAX
+// description, building them once per process (the static half of the
+// system, §3).
+func Tables() (*tablegen.Tables, error) {
+	tablesOnce.Do(func() {
+		g, err := Grammar()
+		if err != nil {
+			tablesErr = err
+			return
+		}
+		tables, tablesErr = tablegen.Build(g, tablegen.Options{})
+	})
+	return tables, tablesErr
+}

@@ -1,0 +1,373 @@
+package vaxsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine is a simulated VAX subset processor: sixteen 32-bit registers, a
+// byte-addressable little-endian memory, and the NZVC condition codes that
+// almost every VAX instruction sets as a side effect (§6.1 of the paper).
+type Machine struct {
+	p   *Program
+	R   [16]uint32
+	Mem []byte
+
+	N, Z, V, C bool
+
+	pc     int
+	pcNext int
+	frames []frame
+
+	// Steps counts executed instructions; Counts breaks them down by
+	// mnemonic, used by the dynamic code-quality experiment (E3).
+	Steps    int64
+	Counts   map[string]int64
+	MaxSteps int64
+}
+
+type frame struct {
+	saved [6]uint32 // r6..r11, the simulated entry-mask register save
+}
+
+// Register numbers of the dedicated registers.
+const (
+	regAP = 12
+	regFP = 13
+	regSP = 14
+	regPC = 15
+)
+
+// retSentinel is the return "pc" of the outermost frame.
+const retSentinel = -2
+
+// DefaultMemory is the simulated memory size.
+const DefaultMemory = 1 << 20
+
+// New returns a machine for the program with default memory.
+func New(p *Program) *Machine {
+	m := &Machine{
+		p:        p,
+		Mem:      make([]byte, DefaultMemory),
+		Counts:   make(map[string]int64),
+		MaxSteps: 50_000_000,
+	}
+	m.Reset()
+	return m
+}
+
+// Reset clears registers and memory and reapplies data initialization.
+func (m *Machine) Reset() {
+	m.R = [16]uint32{}
+	for i := range m.Mem {
+		m.Mem[i] = 0
+	}
+	for _, di := range m.p.init {
+		copy(m.Mem[di.addr:], di.bytes)
+	}
+	m.R[regSP] = uint32(len(m.Mem) - 64)
+	m.N, m.Z, m.V, m.C = false, false, false, false
+	m.frames = m.frames[:0]
+}
+
+// Global returns the address of a data symbol.
+func (m *Machine) Global(name string) (uint32, bool) {
+	a, ok := m.p.Globals[name]
+	return a, ok
+}
+
+// Call resets the machine, pushes the given longword arguments and executes
+// the named function until it returns, yielding r0 as a signed 32-bit
+// result. Arguments are pushed so the first appears at 4(ap), matching the
+// calling convention the code generators emit.
+func (m *Machine) Call(name string, args ...int64) (int64, error) {
+	m.Reset()
+	return m.CallPreservingState(name, args...)
+}
+
+// CallPreservingState is Call without the Reset, so globals keep their
+// values across calls.
+func (m *Machine) CallPreservingState(name string, args ...int64) (int64, error) {
+	entry, ok := m.p.Labels[name]
+	if !ok {
+		return 0, fmt.Errorf("vaxsim: no function %q", name)
+	}
+	for i := len(args) - 1; i >= 0; i-- {
+		m.push32(uint32(args[i]))
+	}
+	m.push32(uint32(len(args)))
+	apAddr := m.R[regSP]
+	m.push32(m.R[regAP])
+	m.push32(m.R[regFP])
+	m.push32(^uint32(1)) // retSentinel (-2) as an unsigned word
+	m.R[regFP] = m.R[regSP]
+	m.R[regAP] = apAddr
+	m.frames = append(m.frames, m.saveRegs())
+	m.pc = entry
+
+	for {
+		if m.pc == retSentinel {
+			return int64(int32(m.R[0])), nil
+		}
+		if m.pc < 0 || m.pc >= len(m.p.Instrs) {
+			return 0, fmt.Errorf("vaxsim: pc %d out of range", m.pc)
+		}
+		if m.Steps++; m.Steps > m.MaxSteps {
+			return 0, fmt.Errorf("vaxsim: step limit %d exceeded", m.MaxSteps)
+		}
+		in := &m.p.Instrs[m.pc]
+		m.Counts[in.Mn]++
+		m.pcNext = m.pc + 1
+		h := execTable[in.Mn]
+		if h == nil {
+			return 0, fmt.Errorf("vaxsim: line %d: unknown instruction %q", in.Line, in.Mn)
+		}
+		if err := h(m, in); err != nil {
+			return 0, fmt.Errorf("vaxsim: line %d (%s): %v", in.Line, in, err)
+		}
+		m.pc = m.pcNext
+	}
+}
+
+func (m *Machine) saveRegs() frame {
+	var f frame
+	copy(f.saved[:], m.R[6:12])
+	return f
+}
+
+func (m *Machine) restoreRegs(f frame) {
+	copy(m.R[6:12], f.saved[:])
+}
+
+func (m *Machine) push32(v uint32) {
+	m.R[regSP] -= 4
+	m.storeMem(m.R[regSP], 4, uint64(v))
+}
+
+func (m *Machine) pop32() uint32 {
+	v := uint32(m.loadMem(m.R[regSP], 4))
+	m.R[regSP] += 4
+	return v
+}
+
+func (m *Machine) loadMem(addr uint32, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.Mem[(addr+uint32(i))%uint32(len(m.Mem))]) << (8 * i)
+	}
+	return v
+}
+
+func (m *Machine) storeMem(addr uint32, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.Mem[(addr+uint32(i))%uint32(len(m.Mem))] = byte(v >> (8 * i))
+	}
+}
+
+// loc is a resolved operand location.
+type loc struct {
+	kind uint8 // 0 reg, 1 mem, 2 imm
+	reg  int
+	addr uint32
+	imm  int64
+	fimm float64
+	isF  bool
+}
+
+const (
+	locReg = iota
+	locMem
+	locImm
+)
+
+// resolve computes an operand's location, applying autoincrement and
+// autodecrement side effects (which must happen exactly once per operand
+// evaluation; cf. §6.1 on side-effect descriptors).
+func (m *Machine) resolve(o *Operand, size int) (loc, error) {
+	var l loc
+	switch o.Mode {
+	case MReg:
+		l = loc{kind: locReg, reg: o.Reg}
+		if o.Index >= 0 {
+			return l, fmt.Errorf("register mode cannot be indexed")
+		}
+		return l, nil
+	case MRegDef:
+		l = loc{kind: locMem, addr: m.R[o.Reg]}
+	case MDisp:
+		l = loc{kind: locMem, addr: m.R[o.Reg] + uint32(o.Disp)}
+	case MAbs:
+		a, ok := m.p.Globals[o.Sym]
+		if !ok {
+			return l, fmt.Errorf("undefined symbol %q", o.Sym)
+		}
+		l = loc{kind: locMem, addr: a + uint32(o.Disp)}
+	case MImm:
+		return loc{kind: locImm, imm: o.Imm, fimm: o.FImm, isF: o.IsF}, nil
+	case MAutoInc:
+		step := uint32(size)
+		if o.Deferred {
+			step = 4 // deferred autoincrement steps over the pointer
+		}
+		l = loc{kind: locMem, addr: m.R[o.Reg]}
+		m.R[o.Reg] += step
+	case MAutoDec:
+		step := uint32(size)
+		if o.Deferred {
+			step = 4
+		}
+		m.R[o.Reg] -= step
+		l = loc{kind: locMem, addr: m.R[o.Reg]}
+	default:
+		return l, fmt.Errorf("operand %s not addressable here", o)
+	}
+	if o.Deferred {
+		// The addressed longword holds the operand's address.
+		l.addr = uint32(m.loadMem(l.addr, 4))
+	}
+	if o.Index >= 0 {
+		l.addr += m.R[o.Index] * uint32(size)
+	}
+	return l, nil
+}
+
+// readInt reads an integer operand of the given size, sign- or
+// zero-extending to 64 bits.
+func (m *Machine) readInt(l loc, size int, unsigned bool) (int64, error) {
+	switch l.kind {
+	case locImm:
+		if l.isF {
+			return int64(l.fimm), nil
+		}
+		return l.imm, nil
+	case locReg:
+		return extend(uint64(m.R[l.reg]), size, unsigned), nil
+	default:
+		return extend(m.loadMem(l.addr, size), size, unsigned), nil
+	}
+}
+
+func extend(v uint64, size int, unsigned bool) int64 {
+	switch size {
+	case 1:
+		if unsigned {
+			return int64(uint8(v))
+		}
+		return int64(int8(v))
+	case 2:
+		if unsigned {
+			return int64(uint16(v))
+		}
+		return int64(int16(v))
+	default:
+		if unsigned {
+			return int64(uint32(v))
+		}
+		return int64(int32(v))
+	}
+}
+
+// writeInt writes the low `size` bytes of v to the operand. A byte or word
+// write to a register modifies only its low bits, as on the real machine.
+func (m *Machine) writeInt(l loc, size int, v int64) error {
+	switch l.kind {
+	case locImm:
+		return fmt.Errorf("immediate operand is not writable")
+	case locReg:
+		switch size {
+		case 1:
+			m.R[l.reg] = m.R[l.reg]&^0xff | uint32(uint8(v))
+		case 2:
+			m.R[l.reg] = m.R[l.reg]&^0xffff | uint32(uint16(v))
+		default:
+			m.R[l.reg] = uint32(v)
+		}
+	default:
+		m.storeMem(l.addr, size, uint64(v))
+	}
+	return nil
+}
+
+// readFloat reads an F (4-byte) or D (8-byte) floating operand. A D operand
+// in a register occupies the register pair rN, rN+1.
+func (m *Machine) readFloat(l loc, size int) (float64, error) {
+	switch l.kind {
+	case locImm:
+		if l.isF {
+			return l.fimm, nil
+		}
+		return float64(l.imm), nil
+	case locReg:
+		if size == 4 {
+			return float64(math.Float32frombits(m.R[l.reg])), nil
+		}
+		if l.reg >= 15 {
+			return 0, fmt.Errorf("double register pair out of range")
+		}
+		bits := uint64(m.R[l.reg]) | uint64(m.R[l.reg+1])<<32
+		return math.Float64frombits(bits), nil
+	default:
+		if size == 4 {
+			return float64(math.Float32frombits(uint32(m.loadMem(l.addr, 4)))), nil
+		}
+		return math.Float64frombits(m.loadMem(l.addr, 8)), nil
+	}
+}
+
+func (m *Machine) writeFloat(l loc, size int, v float64) error {
+	switch l.kind {
+	case locImm:
+		return fmt.Errorf("immediate operand is not writable")
+	case locReg:
+		if size == 4 {
+			m.R[l.reg] = math.Float32bits(float32(v))
+			return nil
+		}
+		if l.reg >= 15 {
+			return fmt.Errorf("double register pair out of range")
+		}
+		bits := math.Float64bits(v)
+		m.R[l.reg] = uint32(bits)
+		m.R[l.reg+1] = uint32(bits >> 32)
+		return nil
+	default:
+		if size == 4 {
+			m.storeMem(l.addr, 4, uint64(math.Float32bits(float32(v))))
+			return nil
+		}
+		m.storeMem(l.addr, 8, math.Float64bits(v))
+		return nil
+	}
+}
+
+// ReadGlobal reads size bytes of the named global as a signed integer, a
+// convenience for tests and examples.
+func (m *Machine) ReadGlobal(name string, size int) (int64, error) {
+	a, ok := m.Global(name)
+	if !ok {
+		return 0, fmt.Errorf("vaxsim: no global %q", name)
+	}
+	return extend(m.loadMem(a, size), size, false), nil
+}
+
+// ReadGlobalFloat reads the named global as an F or D floating value.
+func (m *Machine) ReadGlobalFloat(name string, size int) (float64, error) {
+	a, ok := m.Global(name)
+	if !ok {
+		return 0, fmt.Errorf("vaxsim: no global %q", name)
+	}
+	if size == 4 {
+		return float64(math.Float32frombits(uint32(m.loadMem(a, 4)))), nil
+	}
+	return math.Float64frombits(m.loadMem(a, 8)), nil
+}
+
+// WriteGlobal stores a signed integer into the named global.
+func (m *Machine) WriteGlobal(name string, size int, v int64) error {
+	a, ok := m.Global(name)
+	if !ok {
+		return fmt.Errorf("vaxsim: no global %q", name)
+	}
+	m.storeMem(a, size, uint64(v))
+	return nil
+}
