@@ -353,6 +353,38 @@ func BenchmarkFrontEnd(b *testing.B) {
 	}
 }
 
+// Observability guard: the full public-API compile with no observer. The
+// instrumentation layer must cost nothing when disabled — compare against
+// BenchmarkCompileObserved to see the enabled-path overhead. CI runs this
+// pair as a smoke test.
+func BenchmarkCompile(b *testing.B) {
+	src := corpus.Large(40)
+	if _, err := vax.Tables(); err != nil { // exclude one-time table build
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The same compile with a full observer attached (spans, counters,
+// histograms, coverage) but no event stream — the in-memory recording cost.
+func BenchmarkCompileObserved(b *testing.B) {
+	src := corpus.Large(40)
+	if _, err := vax.Tables(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src, Config{Observer: NewObserver(ObserverConfig{})}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Peephole: the optimizer pass over generated output (the §6.1 extension).
 func BenchmarkPeepholeOptimizer(b *testing.B) {
 	u := benchUnit(b, 40)

@@ -14,6 +14,11 @@
 //	-trace        print the pattern matcher's shift/reduce actions
 //	-run          assemble and execute main(), printing its result
 //	-stats        print code-generation statistics
+//	-profile      print the instrumentation report (phase spans, counters,
+//	              histograms, coverage, execution profile) to stderr
+//	-coverage     print machine-description table coverage (productions
+//	              fired, states visited, never-fired productions)
+//	-events file  write the structured JSONL event stream to file
 package main
 
 import (
@@ -33,6 +38,9 @@ func main() {
 		trace     = flag.Bool("trace", false, "print pattern matcher actions")
 		run       = flag.Bool("run", false, "assemble and execute main()")
 		stats     = flag.Bool("stats", false, "print code-generation statistics")
+		profile   = flag.Bool("profile", false, "print the instrumentation report to stderr")
+		coverage  = flag.Bool("coverage", false, "print table coverage (productions fired, states visited)")
+		events    = flag.String("events", "", "write JSONL instrumentation events to `file`")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -44,7 +52,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := ggcg.Config{Baseline: *baseline, NoReverseOps: *noReverse, Peephole: *optimize}
+
+	var obs *ggcg.Observer
+	var eventsFile *os.File
+	if *profile || *coverage || *events != "" {
+		cfg := ggcg.ObserverConfig{TrackAllocs: *profile}
+		if *events != "" {
+			eventsFile, err = os.Create(*events)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Events = eventsFile
+			cfg.TraceEvents = *trace
+		}
+		obs = ggcg.NewObserver(cfg)
+	}
+
+	cfg := ggcg.Config{Baseline: *baseline, NoReverseOps: *noReverse, Peephole: *optimize, Observer: obs}
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
@@ -67,7 +91,7 @@ func main() {
 		fmt.Print(out.Asm)
 	}
 	if *run {
-		m, err := ggcg.NewMachine(out.Asm)
+		m, err := ggcg.NewMachineObs(out.Asm, obs)
 		if err != nil {
 			fatal(err)
 		}
@@ -76,6 +100,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("main() = %d (%d instructions executed)\n", r, m.Steps())
+	}
+
+	if obs != nil {
+		switch {
+		case *profile:
+			obs.WriteReport(os.Stderr)
+		case *coverage:
+			if p, _ := obs.CoverageUniverse(); p == 0 {
+				fmt.Fprintln(os.Stderr, "ggcc: no table coverage recorded (-baseline does not use the tables)")
+			}
+			obs.WriteCoverage(os.Stderr)
+		}
+		obs.Flush()
+		if eventsFile != nil {
+			if err := eventsFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 

@@ -7,6 +7,8 @@
 //
 //	-f name    function to call (default main)
 //	-counts    print per-mnemonic dynamic instruction counts
+//	-profile   print the full execution profile: per-opcode and
+//	           per-addressing-mode frequencies and per-function step counts
 package main
 
 import (
@@ -16,13 +18,15 @@ import (
 	"sort"
 	"strconv"
 
+	"ggcg/internal/obs"
 	"ggcg/internal/vaxsim"
 )
 
 func main() {
 	var (
-		fn     = flag.String("f", "main", "function to call")
-		counts = flag.Bool("counts", false, "print per-mnemonic instruction counts")
+		fn      = flag.String("f", "main", "function to call")
+		counts  = flag.Bool("counts", false, "print per-mnemonic instruction counts")
+		profile = flag.Bool("profile", false, "print the full execution profile")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -46,13 +50,18 @@ func main() {
 		fatal(err)
 	}
 	m := vaxsim.New(prog)
+	if *profile {
+		m.EnableFuncProfile()
+	}
 	r, err := m.Call("_"+*fn, args...)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s(%v) = %d\n", *fn, args, r)
 	fmt.Printf("%d instructions executed\n", m.Steps)
-	if *counts {
+	if *profile {
+		obs.WriteSimProfile(os.Stdout, m.Profile())
+	} else if *counts {
 		type mc struct {
 			mn string
 			n  int64

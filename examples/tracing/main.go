@@ -8,15 +8,23 @@
 // trace shows every parser action with the production it reduces by,
 // including the encapsulating addressing-mode reduction and the
 // syntactically inserted byte-to-long conversion.
+//
+// The trace flows through the unified instrumentation layer: one observer
+// renders the appendix-style listing (via a trace sink), captures the same
+// actions as structured JSONL events, and reports table coverage for the
+// single statement — the listing and the event stream derive from the same
+// events, so they cannot disagree.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"strings"
 
 	"ggcg/internal/codegen"
 	"ggcg/internal/ir"
-	"ggcg/internal/matcher"
+	"ggcg/internal/obs"
 )
 
 func main() {
@@ -36,13 +44,30 @@ func main() {
 		Funcs:   []*ir.Func{f},
 	}
 
+	var events bytes.Buffer
+	o := obs.New(obs.Config{Events: &events, TraceEvents: true})
+	o.SetTraceSink(func(e obs.TraceEvent) { fmt.Println("  " + e.String()) })
+
 	fmt.Println("parser actions:")
-	res, err := codegen.Compile(u, codegen.Options{
-		Trace: func(e matcher.TraceEvent) { fmt.Println("  " + e.String()) },
-	})
+	res, err := codegen.Compile(u, codegen.Options{Obs: o})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ngenerated code:")
 	fmt.Print(res.Asm)
+
+	o.Flush()
+	lines := strings.Split(strings.TrimSpace(events.String()), "\n")
+	fmt.Printf("\nJSONL event stream (%d events; first three):\n", len(lines))
+	for i, l := range lines {
+		if i == 3 {
+			break
+		}
+		fmt.Println("  " + l)
+	}
+
+	fired := o.ProdFireCounts()
+	prods, states := o.CoverageUniverse()
+	fmt.Printf("\ntable coverage of this one statement: %d of %d productions, %d of %d states\n",
+		len(fired), prods, len(o.StateVisitCounts()), states)
 }

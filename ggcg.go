@@ -22,7 +22,7 @@ import (
 
 	"ggcg/internal/cfront"
 	"ggcg/internal/codegen"
-	"ggcg/internal/matcher"
+	"ggcg/internal/obs"
 	"ggcg/internal/pcc"
 	"ggcg/internal/peep"
 	"ggcg/internal/tablegen"
@@ -30,6 +30,26 @@ import (
 	"ggcg/internal/vax"
 	"ggcg/internal/vaxsim"
 )
+
+// Observer is the unified instrumentation hook: hierarchical phase spans,
+// counters and histograms, table coverage (productions fired, SLR states
+// visited) and simulator execution profiles, exportable as JSONL events
+// and a human-readable report. A nil *Observer disables everything; see
+// internal/obs for the event schema.
+type Observer = obs.Observer
+
+// ObserverConfig configures a new Observer.
+type ObserverConfig = obs.Config
+
+// ObsEvent is the JSONL event record an Observer emits; a stream of them
+// round-trips through encoding/json.
+type ObsEvent = obs.Event
+
+// SimProfile is the dynamic execution profile of the simulator.
+type SimProfile = obs.SimProfile
+
+// NewObserver returns an enabled instrumentation observer.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
 
 // Config selects how a program is compiled.
 type Config struct {
@@ -47,9 +67,15 @@ type Config struct {
 	Peephole bool
 
 	// Trace receives the pattern matcher's shift/reduce actions, one per
-	// line — the listing style of the paper's appendix. Ignored by the
+	// line — the listing style of the paper's appendix. It is a thin
+	// adapter over the Observer's trace event stream: the listing and the
+	// JSONL trace events render from the same events. Ignored by the
 	// baseline generator.
 	Trace io.Writer
+
+	// Observer, if non-nil, instruments the whole compilation: phase
+	// spans, counters, histograms and table coverage accumulate into it.
+	Observer *Observer
 }
 
 // Stats reports code-generation work for one compilation.
@@ -72,30 +98,55 @@ type Compiled struct {
 // Compile compiles source text (the C dialect cfront accepts) to VAX
 // assembly.
 func Compile(src string, cfg Config) (*Compiled, error) {
-	unit, err := cfront.Compile(src)
+	o := cfg.Observer
+	if cfg.Trace != nil {
+		// The appendix-style listing is a sink over the observer's trace
+		// event stream, so the listing and the JSONL trace events cannot
+		// drift apart. A trace with no explicit observer gets a private
+		// adapter-only one.
+		if o == nil {
+			o = obs.New(obs.Config{})
+		}
+		w := cfg.Trace
+		o.SetTraceSink(func(e obs.TraceEvent) { fmt.Fprintln(w, e.String()) })
+	}
+	sp := o.Start("compile")
+	defer sp.End()
+	unit, err := cfront.CompileObs(src, o)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Baseline {
+		bsp := o.Start("baseline")
 		res, err := pcc.Compile(unit)
+		bsp.End()
 		if err != nil {
 			return nil, err
 		}
 		out := &Compiled{Asm: res.Asm, Stats: Stats{AsmLines: res.AsmLines, Spills: res.Spills}}
 		if cfg.Peephole {
+			psp := o.Start("peep")
 			var pst peep.Stats
 			out.Asm, pst = peep.Optimize(out.Asm)
+			psp.End()
+			codegen.CountPeep(o, pst)
 			out.Stats.AsmLines -= pst.LinesRemoved
+			if out.Stats.AsmLines < 0 {
+				// The baseline's line count and the optimizer's removal
+				// count are measured differently (emitted instructions vs
+				// instructions parsed back from the text); never let the
+				// difference go negative.
+				out.Stats.AsmLines = 0
+			}
 		}
+		o.Count("codegen.asm_lines", int64(out.Stats.AsmLines))
+		o.Count("codegen.spills", int64(out.Stats.Spills))
 		return out, nil
 	}
 	opt := codegen.Options{
 		Transform: transform.Options{NoReverseOps: cfg.NoReverseOps},
 		Peephole:  cfg.Peephole,
-	}
-	if cfg.Trace != nil {
-		w := cfg.Trace
-		opt.Trace = func(e matcher.TraceEvent) { fmt.Fprintln(w, e.String()) }
+		Obs:       o,
 	}
 	res, err := codegen.Compile(unit, opt)
 	if err != nil {
@@ -114,24 +165,57 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 
 // Machine executes generated assembly on the VAX-subset simulator.
 type Machine struct {
-	m *vaxsim.Machine
+	m      *vaxsim.Machine
+	obs    *Observer
+	merged SimProfile // profile portion already merged into obs
 }
 
 // NewMachine assembles a program for execution.
 func NewMachine(asm string) (*Machine, error) {
-	p, err := vaxsim.Assemble(asm)
+	return NewMachineObs(asm, nil)
+}
+
+// NewMachineObs is NewMachine with instrumentation: assembly reports a
+// span, and every Call reports an execution span and merges its dynamic
+// profile (opcode/addressing-mode frequencies, per-function steps) into
+// the observer.
+func NewMachineObs(asm string, o *Observer) (*Machine, error) {
+	p, err := vaxsim.AssembleObs(asm, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{m: vaxsim.New(p)}, nil
+	m := &Machine{m: vaxsim.New(p)}
+	m.SetObserver(o)
+	return m, nil
+}
+
+// SetObserver attaches (or, with nil, detaches) an instrumentation
+// observer; attaching enables per-function step attribution.
+func (m *Machine) SetObserver(o *Observer) {
+	m.obs = o
+	if o.Enabled() {
+		m.m.EnableFuncProfile()
+	}
 }
 
 // Call resets the machine and invokes a function (named as in the source;
 // the assembler-level underscore is added here) with longword arguments,
 // returning its int result.
 func (m *Machine) Call(fn string, args ...int64) (int64, error) {
-	return m.m.Call("_"+fn, args...)
+	sp := m.obs.Start("execute")
+	r, err := m.m.Call("_"+fn, args...)
+	sp.End()
+	if m.obs.Enabled() {
+		cur := m.m.Profile()
+		m.obs.AddSim(cur.Diff(m.merged))
+		m.merged = cur
+	}
+	return r, err
 }
+
+// Profile returns the cumulative dynamic execution profile of the
+// simulated machine.
+func (m *Machine) Profile() SimProfile { return m.m.Profile() }
 
 // Steps returns the number of simulated instructions executed so far.
 func (m *Machine) Steps() int64 { return m.m.Steps }

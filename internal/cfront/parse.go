@@ -2,16 +2,30 @@ package cfront
 
 import (
 	"ggcg/internal/ir"
+	"ggcg/internal/obs"
 )
 
 // Compile parses a source file and returns the compilation unit: the forest
 // of typed expression trees interspersed with labels that the code
 // generators consume.
 func Compile(src string) (u *ir.Unit, err error) {
+	return CompileObs(src, nil)
+}
+
+// CompileObs is Compile with instrumentation: the lexing and parsing
+// subphases report spans and counters to the observer (nil disables).
+func CompileObs(src string, o *obs.Observer) (u *ir.Unit, err error) {
+	sp := o.Start("cfront")
+	defer sp.End()
+	lsp := o.Start("lex")
 	toks, err := lex(src)
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
+	o.Count("cfront.tokens", int64(len(toks)))
+	psp := o.Start("parse")
+	defer psp.End()
 	p := &parser{
 		toks:    toks,
 		unit:    &ir.Unit{},
@@ -27,6 +41,8 @@ func Compile(src string) (u *ir.Unit, err error) {
 		}
 	}()
 	p.parseUnit()
+	o.Count("cfront.funcs", int64(len(p.unit.Funcs)))
+	o.Count("cfront.globals", int64(len(p.unit.Globals)))
 	return p.unit, nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"ggcg/internal/ir"
 	"ggcg/internal/matcher"
+	"ggcg/internal/obs"
 	"ggcg/internal/peep"
 	"ggcg/internal/tablegen"
 	"ggcg/internal/transform"
@@ -36,6 +37,10 @@ type Options struct {
 	// Peephole runs the assembly-level peephole optimizer over the output
 	// — the alternative organization §6.1 of the paper discusses.
 	Peephole bool
+
+	// Obs, if non-nil, receives phase spans, counters/histograms and
+	// table coverage for the whole compilation (see internal/obs).
+	Obs *obs.Observer
 }
 
 // Stats reports code-generation work.
@@ -58,14 +63,27 @@ type Result struct {
 // Compile runs the full code generator over a unit, producing VAX assembly
 // for the simulator's assembler.
 func Compile(u *ir.Unit, opt Options) (*Result, error) {
+	o := opt.Obs
 	t := opt.Tables
 	if t == nil {
+		// The standard tables are a cached once-per-process build, so this
+		// span is large on first use and ~zero after (§3's static/dynamic
+		// split: construction is not a per-compilation cost).
+		tsp := o.Start("tables")
 		var err error
 		t, err = vax.Tables()
+		tsp.End()
 		if err != nil {
 			return nil, err
 		}
 	}
+	o.SetCoverageUniverse(len(t.Grammar.Prods), t.Stats.States, func(i int) string {
+		if i >= 1 && i <= len(t.Grammar.Prods) {
+			return t.Grammar.Prods[i-1].String()
+		}
+		return fmt.Sprintf("#%d", i)
+	})
+	sp := o.Start("codegen")
 	out := vax.NewEmitter()
 	vax.EmitGlobals(out, u.Globals)
 	res := &Result{}
@@ -73,26 +91,70 @@ func Compile(u *ir.Unit, opt Options) (*Result, error) {
 	for _, f := range u.Funcs {
 		next, err := compileFunc(out, t, f, opt, &res.Stats, labelBase)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		labelBase = next
 	}
 	res.Asm = out.String()
 	res.Stats.AsmLines = out.Lines()
+	sp.End()
 	if opt.Peephole {
+		psp := o.Start("peep")
 		var pst peep.Stats
 		res.Asm, pst = peep.Optimize(res.Asm)
 		res.Stats.Peephole = pst
 		res.Stats.AsmLines -= pst.LinesRemoved
+		if res.Stats.AsmLines < 0 {
+			// The emitters count only instructions they Emit; the optimizer
+			// counts instructions it parses from the text, so the two can
+			// disagree on raw lines. Never report a negative line count.
+			res.Stats.AsmLines = 0
+		}
+		psp.End()
+		CountPeep(o, pst)
+	}
+	if o.Enabled() {
+		s := res.Stats
+		o.Count("codegen.trees", int64(s.Matcher.Trees))
+		o.Count("codegen.shifts", int64(s.Matcher.Shifts))
+		o.Count("codegen.reduces", int64(s.Matcher.Reduces))
+		o.Count("codegen.spills", int64(s.Spills))
+		o.Count("codegen.binding_idioms", int64(s.BindingIdioms))
+		o.Count("codegen.range_idioms", int64(s.RangeIdioms))
+		o.Count("codegen.tst_backstops", int64(s.TstBackstops))
+		o.Count("codegen.asm_lines", int64(s.AsmLines))
 	}
 	return res, nil
+}
+
+// CountPeep exports the peephole rule applications — the "window hits" of
+// the §6.1 organization — as observer counters. The baseline compilation
+// path shares it so both generators report the same counter vocabulary.
+func CountPeep(o *obs.Observer, pst peep.Stats) {
+	if !o.Enabled() {
+		return
+	}
+	o.Count("peep.redundant_moves", int64(pst.RedundantMoves))
+	o.Count("peep.redundant_tst", int64(pst.RedundantTst))
+	o.Count("peep.jumps_to_next", int64(pst.JumpsToNext))
+	o.Count("peep.jump_chains", int64(pst.JumpChains))
+	o.Count("peep.inverted_branches", int64(pst.InvertedOver))
+	o.Count("peep.autoinc", int64(pst.AutoInc))
+	o.Count("peep.autodec", int64(pst.AutoDec))
+	o.Count("peep.dead_labels", int64(pst.DeadLabels))
+	o.Count("peep.lines_removed", int64(pst.LinesRemoved))
 }
 
 // compileFunc generates one function, numbering its labels from labelBase
 // so labels are unique across the output file; it returns the next base.
 func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, stats *Stats, labelBase int) (int, error) {
+	o := opt.Obs
+
 	// Phase 1: tree transformation.
+	tsp := o.Start("transform")
 	tf, err := transform.Func(f, opt.Transform)
+	tsp.End()
 	if err != nil {
 		return 0, err
 	}
@@ -115,8 +177,26 @@ func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, 
 		sem = opt.WrapSem(gen)
 	}
 	m := matcher.New(t, sem)
-	m.Trace = opt.Trace
+	m.Obs = o
+	// Fan every matcher action out to both the direct callback and the
+	// observer's trace stream (listing sink + JSONL), from the same event.
+	switch {
+	case opt.Trace != nil && o.WantsTrace():
+		tr := opt.Trace
+		m.Trace = func(e matcher.TraceEvent) {
+			tr(e)
+			o.Trace(e.Obs())
+		}
+	case opt.Trace != nil:
+		m.Trace = opt.Trace
+	case o.WantsTrace():
+		m.Trace = func(e matcher.TraceEvent) { o.Trace(e.Obs()) }
+	}
 
+	// Phases 2–4: the span covers pattern matching, instruction generation
+	// and output generation, which interleave per tree (Figure 2).
+	ssp := o.Start("select")
+	defer ssp.End()
 	first, last := phase1Spans(tf)
 	for i, it := range tf.Items {
 		for _, r := range first[i] {
@@ -133,6 +213,9 @@ func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, 
 			}
 			return true
 		})
+		if o.Enabled() {
+			o.Observe("codegen.tree_depth", int64(treeDepth(it.Tree)))
+		}
 		if _, err := m.Match(ir.Linearize(it.Tree)); err != nil {
 			return 0, fmt.Errorf("codegen: %s: %v", f.Name, err)
 		}
@@ -148,11 +231,29 @@ func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, 
 	out.Append(body)
 
 	stats.Matcher = addMatcherStats(stats.Matcher, m.Stats())
+	if o.Enabled() {
+		o.Observe("codegen.spills_per_func", int64(gen.RM.Spills))
+	}
 	stats.Spills += gen.RM.Spills
 	stats.BindingIdioms += gen.BindingIdioms
 	stats.RangeIdioms += gen.RangeIdioms
 	stats.TstBackstops += body.TstBackstops
 	return labelBase + maxLabel + 1, nil
+}
+
+// treeDepth is the height of an expression tree, observed into the
+// tree-depth histogram (deep trees are what force spills, §5.3.3).
+func treeDepth(n *ir.Node) int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	for _, k := range n.Kids {
+		if kd := treeDepth(k); kd > d {
+			d = kd
+		}
+	}
+	return d + 1
 }
 
 func addMatcherStats(a, b matcher.Stats) matcher.Stats {

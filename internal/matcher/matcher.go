@@ -17,6 +17,7 @@ import (
 
 	"ggcg/internal/cgram"
 	"ggcg/internal/ir"
+	"ggcg/internal/obs"
 	"ggcg/internal/tablegen"
 )
 
@@ -60,17 +61,22 @@ type TraceEvent struct {
 	Prod *cgram.Prod // reduced production, for TraceReduce
 }
 
-func (e TraceEvent) String() string {
+// Obs converts the event to the observability layer's trace vocabulary.
+// Both the appendix-style listing (String) and the JSONL trace events are
+// rendered from the converted form, so the two cannot drift apart.
+func (e TraceEvent) Obs() obs.TraceEvent {
 	switch e.Kind {
 	case TraceShift:
-		return "shift  " + e.Term
+		return obs.TraceEvent{Kind: "shift", Term: e.Term}
 	case TraceReduce:
-		return fmt.Sprintf("reduce %d: %s", e.Prod.Index, e.Prod)
+		return obs.TraceEvent{Kind: "reduce", Prod: e.Prod.Index, Rule: e.Prod.String()}
 	case TraceAccept:
-		return "accept"
+		return obs.TraceEvent{Kind: "accept"}
 	}
-	return "?"
+	return obs.TraceEvent{}
 }
+
+func (e TraceEvent) String() string { return e.Obs().String() }
 
 // Stats counts parser work, used by the phase-time experiments (§5, §8:
 // "our code generator spends most of its time parsing").
@@ -87,6 +93,11 @@ type Matcher struct {
 
 	// Trace, if non-nil, receives every parser action.
 	Trace func(TraceEvent)
+
+	// Obs, if non-nil, receives table coverage (productions reduced,
+	// states visited) and a parse-stack-depth histogram. Hot-path calls
+	// are guarded by nil checks so a disabled observer costs one branch.
+	Obs *obs.Observer
 
 	stats Stats
 
@@ -133,6 +144,9 @@ func (m *Matcher) Match(toks []ir.Token) (Value, error) {
 		m.states, m.vals = states[:0], vals[:0]
 	}()
 	m.stats.Trees++
+	if m.Obs != nil {
+		m.Obs.StateVisited(0)
+	}
 
 	blockErr := func(pos int, term string) error {
 		tree := ir.TermString(toks)
@@ -140,6 +154,7 @@ func (m *Matcher) Match(toks []ir.Token) (Value, error) {
 	}
 
 	pos := 0
+	maxDepth := 1
 	for {
 		var termID int
 		var termName string
@@ -162,6 +177,12 @@ func (m *Matcher) Match(toks []ir.Token) (Value, error) {
 			states = append(states, act.Arg)
 			vals = append(vals, Value{Tok: tok})
 			m.stats.Shifts++
+			if m.Obs != nil {
+				m.Obs.StateVisited(int(act.Arg))
+				if len(states) > maxDepth {
+					maxDepth = len(states)
+				}
+			}
 			if m.Trace != nil {
 				m.Trace(TraceEvent{Kind: TraceShift, Term: termName})
 			}
@@ -195,11 +216,18 @@ func (m *Matcher) Match(toks []ir.Token) (Value, error) {
 			states = append(states, int32(to))
 			vals = append(vals, Value{Sem: sem})
 			m.stats.Reduces++
+			if m.Obs != nil {
+				m.Obs.ProdReduced(prod.Index)
+				m.Obs.StateVisited(to)
+			}
 			if m.Trace != nil {
 				m.Trace(TraceEvent{Kind: TraceReduce, Prod: prod})
 			}
 
 		case tablegen.ActAccept:
+			if m.Obs != nil {
+				m.Obs.Observe("matcher.stack_depth", int64(maxDepth))
+			}
 			if m.Trace != nil {
 				m.Trace(TraceEvent{Kind: TraceAccept})
 			}

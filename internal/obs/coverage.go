@@ -1,0 +1,145 @@
+package obs
+
+// Table coverage: the dynamic counterpart of the paper's §8 machine
+// description statistics. The matcher reports every production it reduces
+// by and every SLR state it enters; against the universe supplied by the
+// code generator (production count, state count, a production formatter)
+// the observer can report hot productions and states, and — more usefully
+// for the grammar author — productions the compilation never exercised.
+
+type coverage struct {
+	fired    []int64 // by production index (1-based; 0 is the augmented rule)
+	states   []int64 // by state number
+	universe int     // production count incl. the augmented rule; 0 = unset
+	nStates  int
+	prodName func(int) string
+}
+
+// SetCoverageUniverse declares the size of the table universe so coverage
+// can be reported against it: nProds productions (1-based indices; index 0
+// is the implicit augmented rule and is excluded from never-fired
+// reporting), nStates SLR states, and a production formatter.
+func (o *Observer) SetCoverageUniverse(nProds, nStates int, prodName func(int) string) {
+	if o == nil {
+		return
+	}
+	o.cov.universe = nProds + 1
+	o.cov.nStates = nStates
+	o.cov.prodName = prodName
+	if len(o.cov.fired) < o.cov.universe {
+		o.cov.fired = append(o.cov.fired, make([]int64, o.cov.universe-len(o.cov.fired))...)
+	}
+	if len(o.cov.states) < nStates {
+		o.cov.states = append(o.cov.states, make([]int64, nStates-len(o.cov.states))...)
+	}
+}
+
+func grow(s []int64, i int) []int64 {
+	for len(s) <= i {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// ProdReduced records one reduction by the production with the given
+// (1-based) grammar index.
+func (o *Observer) ProdReduced(index int) {
+	if o == nil || index < 0 {
+		return
+	}
+	o.cov.fired = grow(o.cov.fired, index)
+	o.cov.fired[index]++
+}
+
+// StateVisited records the matcher entering an SLR state.
+func (o *Observer) StateVisited(state int) {
+	if o == nil || state < 0 {
+		return
+	}
+	o.cov.states = grow(o.cov.states, state)
+	o.cov.states[state]++
+}
+
+// ProdFireCounts returns fire counts by production index (indices with
+// zero count are omitted).
+func (o *Observer) ProdFireCounts() map[int]int64 {
+	if o == nil {
+		return nil
+	}
+	out := make(map[int]int64)
+	for i, n := range o.cov.fired {
+		if n > 0 {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// StateVisitCounts returns visit counts by state (zero-visit states
+// omitted).
+func (o *Observer) StateVisitCounts() map[int]int64 {
+	if o == nil {
+		return nil
+	}
+	out := make(map[int]int64)
+	for i, n := range o.cov.states {
+		if n > 0 {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// NeverFired lists the production indices of the declared universe that no
+// reduction used, in index order. It requires SetCoverageUniverse; the
+// augmented rule (index 0) is excluded since acceptance, not reduction,
+// consumes it.
+func (o *Observer) NeverFired() []int {
+	if o == nil || o.cov.universe == 0 {
+		return nil
+	}
+	var out []int
+	for i := 1; i < o.cov.universe; i++ {
+		if i >= len(o.cov.fired) || o.cov.fired[i] == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ProdName formats a production index using the universe's formatter.
+func (o *Observer) ProdName(index int) string {
+	if o == nil || o.cov.prodName == nil {
+		return "#" + itoa(int64(index))
+	}
+	return o.cov.prodName(index)
+}
+
+// CoverageUniverse returns the declared universe: production count
+// (excluding the augmented rule) and state count. Zeros mean unset.
+func (o *Observer) CoverageUniverse() (prods, states int) {
+	if o == nil || o.cov.universe == 0 {
+		return 0, 0
+	}
+	return o.cov.universe - 1, o.cov.nStates
+}
+
+func (c *coverage) firedMap() map[string]int64 {
+	out := make(map[string]int64)
+	for i, n := range c.fired {
+		if n > 0 {
+			out[itoa(int64(i))] = n
+		}
+	}
+	return out
+}
+
+func (c *coverage) stateMap() map[string]int64 {
+	out := make(map[string]int64)
+	for i, n := range c.states {
+		if n > 0 {
+			out[itoa(int64(i))] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,391 @@
+// Package obs is the unified instrumentation layer of the repository: a
+// zero-dependency (standard library only) observability package that the
+// whole pipeline — front end, tree transformation, pattern matching,
+// instruction generation, peephole optimization, assembly and simulated
+// execution — reports into.
+//
+// It provides four kinds of signal, mirroring the measurement discipline of
+// the paper's evaluation (per-phase cost §5/§8, table statistics §8,
+// dynamic instruction behavior of the emitted code):
+//
+//   - hierarchical phase spans with wall time and (optionally) allocation
+//     deltas;
+//   - named counters and power-of-two bucketed histograms (tree depth,
+//     parse-stack depth, spills, peephole rule hits);
+//   - table coverage: which grammar productions fire and which SLR states
+//     the matcher visits, making the paper's static §8 statistics dynamic;
+//   - a simulator profile: per-opcode and per-addressing-mode execution
+//     frequencies and per-function step counts.
+//
+// Everything is nil-safe: every method on a nil *Observer is a no-op, so
+// instrumented code calls through a possibly-nil pointer without guards,
+// and the hot paths (matcher shift/reduce, simulator step) additionally
+// guard with an explicit nil check so a disabled observer costs one
+// predictable branch.
+//
+// Signals export two ways: structured JSONL events on the configured
+// Events writer (one JSON object per line, round-trippable through
+// encoding/json), and a human-readable report via WriteReport. An Observer
+// is not safe for concurrent use, matching the pipeline it instruments.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"runtime"
+	"time"
+)
+
+// Config configures an Observer.
+type Config struct {
+	// Events, if non-nil, receives one JSON object per line for every
+	// span end, matcher trace action (with TraceEvents), and — on Flush —
+	// counter, histogram, coverage and simulator-profile snapshots.
+	Events io.Writer
+
+	// TraceEvents includes per-action matcher trace events in the Events
+	// stream. They are voluminous (one line per shift/reduce), so they
+	// are off unless asked for.
+	TraceEvents bool
+
+	// TrackAllocs measures heap allocation deltas across spans using
+	// runtime.ReadMemStats. Accurate but costly per span boundary; off by
+	// default.
+	TrackAllocs bool
+}
+
+// Event is the JSONL wire format. One struct covers every event kind so a
+// stream decodes into a single type; unused fields are omitted.
+type Event struct {
+	Kind    string           `json:"kind"`              // span|trace|counter|hist|coverage|simprofile
+	Name    string           `json:"name,omitempty"`    // span/counter/histogram name
+	Path    string           `json:"path,omitempty"`    // slash-joined span path
+	Ns      int64            `json:"ns,omitempty"`      // span wall time
+	Bytes   int64            `json:"bytes,omitempty"`   // span allocation delta
+	Depth   int              `json:"depth,omitempty"`   // span nesting depth
+	Value   int64            `json:"value,omitempty"`   // counter value
+	Count   int64            `json:"count,omitempty"`   // histogram observation count
+	Sum     int64            `json:"sum,omitempty"`     // histogram sum
+	Max     int64            `json:"max,omitempty"`     // histogram max
+	Term    string           `json:"term,omitempty"`    // trace: shifted terminal
+	Prod    int              `json:"prod,omitempty"`    // trace: reduced production index
+	Rule    string           `json:"rule,omitempty"`    // trace: reduced production text
+	Buckets map[string]int64 `json:"buckets,omitempty"` // histogram buckets
+	Fired   map[string]int64 `json:"fired,omitempty"`   // coverage: production index -> count
+	States  map[string]int64 `json:"states,omitempty"`  // coverage: state -> visits
+	Opcodes map[string]int64 `json:"opcodes,omitempty"` // simprofile: mnemonic -> count
+	Modes   map[string]int64 `json:"modes,omitempty"`   // simprofile: addressing mode -> count
+	Funcs   map[string]int64 `json:"funcs,omitempty"`   // simprofile: function -> steps
+}
+
+// PhaseStat is the aggregate of all spans that ended with the same path.
+type PhaseStat struct {
+	Path  string
+	Count int64
+	Ns    int64
+	Bytes int64
+}
+
+// Observer accumulates instrumentation for one pipeline run. The zero
+// value is unusable; construct with New. A nil *Observer is a valid
+// disabled observer: every method no-ops.
+type Observer struct {
+	cfg Config
+	enc *json.Encoder
+
+	stack      []*Span
+	phases     map[string]*PhaseStat
+	phaseOrder []string
+
+	counters     map[string]int64
+	counterOrder []string
+	hists        map[string]*Hist
+	histOrder    []string
+
+	cov       coverage
+	sim       SimProfile
+	traceSink func(TraceEvent)
+}
+
+// New returns an enabled Observer.
+func New(cfg Config) *Observer {
+	o := &Observer{
+		cfg:      cfg,
+		phases:   make(map[string]*PhaseStat),
+		counters: make(map[string]int64),
+		hists:    make(map[string]*Hist),
+	}
+	if cfg.Events != nil {
+		o.enc = json.NewEncoder(cfg.Events)
+	}
+	return o
+}
+
+// Enabled reports whether the observer records anything.
+func (o *Observer) Enabled() bool { return o != nil }
+
+func (o *Observer) emit(e *Event) {
+	if o.enc != nil {
+		o.enc.Encode(e) // best effort; a sink error must not abort compilation
+	}
+}
+
+// Span is one timed region of the pipeline. A nil *Span (from a nil
+// observer) ends harmlessly.
+type Span struct {
+	o          *Observer
+	name, path string
+	depth      int
+	start      time.Time
+	startAlloc uint64
+	done       bool
+}
+
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// Start opens a span nested under the innermost open span. Spans close in
+// LIFO order via End.
+func (o *Observer) Start(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	path := name
+	if n := len(o.stack); n > 0 {
+		path = o.stack[n-1].path + "/" + name
+	}
+	s := &Span{o: o, name: name, path: path, depth: len(o.stack)}
+	o.stack = append(o.stack, s)
+	if o.cfg.TrackAllocs {
+		s.startAlloc = totalAlloc()
+	}
+	s.start = time.Now()
+	return s
+}
+
+// End closes the span, aggregates it into the phase table and emits a
+// span event. End is idempotent, so it can be deferred and also called
+// early on an error path.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	ns := time.Since(s.start).Nanoseconds()
+	o := s.o
+	var delta int64
+	if o.cfg.TrackAllocs {
+		delta = int64(totalAlloc() - s.startAlloc)
+	}
+	for i := len(o.stack) - 1; i >= 0; i-- {
+		if o.stack[i] == s {
+			o.stack = o.stack[:i]
+			break
+		}
+	}
+	ps := o.phases[s.path]
+	if ps == nil {
+		ps = &PhaseStat{Path: s.path}
+		o.phases[s.path] = ps
+		o.phaseOrder = append(o.phaseOrder, s.path)
+	}
+	ps.Count++
+	ps.Ns += ns
+	ps.Bytes += delta
+	o.emit(&Event{Kind: "span", Name: s.name, Path: s.path, Ns: ns, Bytes: delta, Depth: s.depth})
+}
+
+// Phases returns the aggregated spans in first-ended order.
+func (o *Observer) Phases() []PhaseStat {
+	if o == nil {
+		return nil
+	}
+	out := make([]PhaseStat, 0, len(o.phaseOrder))
+	for _, p := range o.phaseOrder {
+		out = append(out, *o.phases[p])
+	}
+	return out
+}
+
+// Count adds delta to a named counter.
+func (o *Observer) Count(name string, delta int64) {
+	if o == nil {
+		return
+	}
+	if _, ok := o.counters[name]; !ok {
+		o.counterOrder = append(o.counterOrder, name)
+	}
+	o.counters[name] += delta
+}
+
+// Counter returns the current value of a named counter.
+func (o *Observer) Counter(name string) int64 {
+	if o == nil {
+		return 0
+	}
+	return o.counters[name]
+}
+
+// Hist is a power-of-two bucketed histogram of non-negative values: bucket
+// 0 holds zeros, bucket i holds values in [2^(i-1), 2^i).
+type Hist struct {
+	Count, Sum, Max int64
+	Buckets         [33]int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLabel names bucket i ("0", "1", "2-3", "4-7", ...).
+func BucketLabel(i int) string {
+	switch i {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	}
+	lo := int64(1) << (i - 1)
+	return itoa(lo) + "-" + itoa(2*lo-1)
+}
+
+// itoa avoids strconv in the one place the core needs formatting.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func (h *Hist) observe(v int64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bucketOf(v)]++
+}
+
+// Observe records one value into a named histogram.
+func (o *Observer) Observe(name string, v int64) {
+	if o == nil {
+		return
+	}
+	h := o.hists[name]
+	if h == nil {
+		h = &Hist{}
+		o.hists[name] = h
+		o.histOrder = append(o.histOrder, name)
+	}
+	h.observe(v)
+}
+
+// Histogram returns a snapshot of a named histogram, or nil.
+func (o *Observer) Histogram(name string) *Hist {
+	if o == nil {
+		return nil
+	}
+	if h := o.hists[name]; h != nil {
+		c := *h
+		return &c
+	}
+	return nil
+}
+
+// TraceEvent is one pattern-matcher action in the obs event vocabulary.
+// The matcher's own trace type converts to this; the appendix-style
+// listing and the JSONL trace events are both rendered from it, so the
+// two cannot drift apart.
+type TraceEvent struct {
+	Kind string // "shift", "reduce" or "accept"
+	Term string // shifted terminal, for shifts
+	Prod int    // production index, for reduces
+	Rule string // production text, for reduces
+}
+
+// String renders the action in the style of the paper's appendix listing.
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case "shift":
+		return "shift  " + e.Term
+	case "reduce":
+		return "reduce " + itoa(int64(e.Prod)) + ": " + e.Rule
+	case "accept":
+		return "accept"
+	}
+	return "?"
+}
+
+// SetTraceSink installs a callback invoked for every matcher trace action
+// routed through Trace. The legacy appendix-style listing is such a sink.
+func (o *Observer) SetTraceSink(fn func(TraceEvent)) {
+	if o == nil {
+		return
+	}
+	o.traceSink = fn
+}
+
+// WantsTrace reports whether routing matcher trace actions to this
+// observer would have any effect, so callers can skip wiring the matcher
+// callback entirely.
+func (o *Observer) WantsTrace() bool {
+	return o != nil && (o.traceSink != nil || (o.enc != nil && o.cfg.TraceEvents))
+}
+
+// Trace records one matcher action: it is fanned to the trace sink (the
+// human listing) and, with TraceEvents, to the JSONL stream.
+func (o *Observer) Trace(e TraceEvent) {
+	if o == nil {
+		return
+	}
+	if o.traceSink != nil {
+		o.traceSink(e)
+	}
+	if o.cfg.TraceEvents {
+		o.emit(&Event{Kind: "trace", Name: e.Kind, Term: e.Term, Prod: e.Prod, Rule: e.Rule})
+	}
+}
+
+// Flush emits snapshot events — counters, histograms, coverage and the
+// simulator profile — to the Events stream. Call it once after the run;
+// it may be called again after further work (each call snapshots current
+// totals).
+func (o *Observer) Flush() {
+	if o == nil || o.enc == nil {
+		return
+	}
+	for _, name := range o.counterOrder {
+		o.emit(&Event{Kind: "counter", Name: name, Value: o.counters[name]})
+	}
+	for _, name := range o.histOrder {
+		h := o.hists[name]
+		buckets := make(map[string]int64)
+		for i, n := range h.Buckets {
+			if n > 0 {
+				buckets[BucketLabel(i)] = n
+			}
+		}
+		o.emit(&Event{Kind: "hist", Name: name, Count: h.Count, Sum: h.Sum, Max: h.Max, Buckets: buckets})
+	}
+	if o.cov.universe > 0 {
+		o.emit(&Event{Kind: "coverage", Fired: o.cov.firedMap(), States: o.cov.stateMap()})
+	}
+	if o.sim.Steps > 0 {
+		o.emit(&Event{Kind: "simprofile", Value: o.sim.Steps,
+			Opcodes: o.sim.Opcodes, Modes: o.sim.Modes, Funcs: o.sim.FuncSteps})
+	}
+}

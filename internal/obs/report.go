@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteReport renders everything the observer accumulated as a
+// human-readable report: the phase table (aggregated spans), counters,
+// histograms, table coverage and the simulator profile. Sections with no
+// data are omitted.
+func (o *Observer) WriteReport(w io.Writer) {
+	if o == nil {
+		return
+	}
+	o.writePhases(w)
+	o.writeCounters(w)
+	o.writeHists(w)
+	o.WriteCoverage(w)
+	if o.sim.Steps > 0 {
+		fmt.Fprintf(w, "\nsimulator profile\n")
+		WriteSimProfile(w, o.sim)
+	}
+}
+
+func (o *Observer) writePhases(w io.Writer) {
+	if len(o.phaseOrder) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "phase spans (aggregated by path)\n")
+	paths := append([]string(nil), o.phaseOrder...)
+	sort.Strings(paths) // lexicographic order groups children under parents
+	for _, path := range paths {
+		ps := o.phases[path]
+		line := fmt.Sprintf("  %-40s %6dx  %12v", path, ps.Count, time.Duration(ps.Ns))
+		if ps.Bytes != 0 {
+			line += fmt.Sprintf("  %10d B", ps.Bytes)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+func (o *Observer) writeCounters(w io.Writer) {
+	if len(o.counterOrder) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ncounters\n")
+	names := append([]string(nil), o.counterOrder...)
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-40s %12d\n", name, o.counters[name])
+	}
+}
+
+func (o *Observer) writeHists(w io.Writer) {
+	if len(o.histOrder) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nhistograms\n")
+	names := append([]string(nil), o.histOrder...)
+	sort.Strings(names)
+	for _, name := range names {
+		h := o.hists[name]
+		mean := float64(0)
+		if h.Count > 0 {
+			mean = float64(h.Sum) / float64(h.Count)
+		}
+		fmt.Fprintf(w, "  %-40s n=%d mean=%.1f max=%d\n", name, h.Count, mean, h.Max)
+		for i, n := range h.Buckets {
+			if n > 0 {
+				fmt.Fprintf(w, "    %12s  %d\n", BucketLabel(i), n)
+			}
+		}
+	}
+}
+
+// WriteCoverage renders the table-coverage section: how much of the
+// machine description this run exercised, the hottest productions and
+// states, and the full never-fired production list (the dead weight of
+// the description, from this compilation's point of view).
+func (o *Observer) WriteCoverage(w io.Writer) {
+	if o == nil || o.cov.universe == 0 {
+		return
+	}
+	fired := o.ProdFireCounts()
+	delete(fired, 0) // the augmented rule is accepted, not reduced
+	states := o.StateVisitCounts()
+	nProds, nStates := o.CoverageUniverse()
+	never := o.NeverFired()
+
+	fmt.Fprintf(w, "\ntable coverage\n")
+	fmt.Fprintf(w, "  productions fired: %d of %d (%.1f%%)\n",
+		len(fired), nProds, 100*float64(len(fired))/float64(max(nProds, 1)))
+	fmt.Fprintf(w, "  states visited:    %d of %d (%.1f%%)\n",
+		len(states), nStates, 100*float64(len(states))/float64(max(nStates, 1)))
+
+	type pc struct {
+		idx int
+		n   int64
+	}
+	hot := make([]pc, 0, len(fired))
+	for i, n := range fired {
+		hot = append(hot, pc{i, n})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].idx < hot[j].idx
+	})
+	const topN = 10
+	fmt.Fprintf(w, "  hottest productions:\n")
+	for i, p := range hot {
+		if i == topN {
+			break
+		}
+		fmt.Fprintf(w, "    %8d  %4d: %s\n", p.n, p.idx, o.ProdName(p.idx))
+	}
+	hotStates := make([]pc, 0, len(states))
+	for s, n := range states {
+		hotStates = append(hotStates, pc{s, n})
+	}
+	sort.Slice(hotStates, func(i, j int) bool {
+		if hotStates[i].n != hotStates[j].n {
+			return hotStates[i].n > hotStates[j].n
+		}
+		return hotStates[i].idx < hotStates[j].idx
+	})
+	fmt.Fprintf(w, "  hottest states:\n")
+	for i, s := range hotStates {
+		if i == topN {
+			break
+		}
+		fmt.Fprintf(w, "    %8d  state %d\n", s.n, s.idx)
+	}
+	fmt.Fprintf(w, "  never-fired productions (%d):\n", len(never))
+	for _, i := range never {
+		fmt.Fprintf(w, "    %4d: %s\n", i, o.ProdName(i))
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SimProfile is the dynamic execution profile of the simulator: the
+// behavior of the emitted code, which the paper's quality argument ("as
+// good or better ... in almost all cases", §8) is about.
+type SimProfile struct {
+	Steps     int64            // instructions executed
+	Opcodes   map[string]int64 // mnemonic -> executions
+	Modes     map[string]int64 // addressing mode (as resolved, per operand) -> evaluations
+	FuncSteps map[string]int64 // function symbol -> instructions attributed
+}
+
+func addMap(dst *map[string]int64, src map[string]int64) {
+	if len(src) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = make(map[string]int64, len(src))
+	}
+	for k, v := range src {
+		(*dst)[k] += v
+	}
+}
+
+// Add accumulates another profile into p.
+func (p *SimProfile) Add(q SimProfile) {
+	p.Steps += q.Steps
+	addMap(&p.Opcodes, q.Opcodes)
+	addMap(&p.Modes, q.Modes)
+	addMap(&p.FuncSteps, q.FuncSteps)
+}
+
+func subMap(cur, prev map[string]int64) map[string]int64 {
+	var out map[string]int64
+	for k, v := range cur {
+		if d := v - prev[k]; d != 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Diff returns the profile accumulated since prev was snapshotted from
+// the same machine — the per-call delta of cumulative counters.
+func (p SimProfile) Diff(prev SimProfile) SimProfile {
+	return SimProfile{
+		Steps:     p.Steps - prev.Steps,
+		Opcodes:   subMap(p.Opcodes, prev.Opcodes),
+		Modes:     subMap(p.Modes, prev.Modes),
+		FuncSteps: subMap(p.FuncSteps, prev.FuncSteps),
+	}
+}
+
+// AddSim merges an execution profile into the observer.
+func (o *Observer) AddSim(p SimProfile) {
+	if o == nil {
+		return
+	}
+	o.sim.Add(p)
+}
+
+// Sim returns the accumulated simulator profile.
+func (o *Observer) Sim() SimProfile {
+	if o == nil {
+		return SimProfile{}
+	}
+	return o.sim
+}
+
+func sortedByCount(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+func writeFreqTable(w io.Writer, title string, m map[string]int64, total int64) {
+	if len(m) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s:\n", title)
+	for _, k := range sortedByCount(m) {
+		pct := ""
+		if total > 0 {
+			pct = fmt.Sprintf("  %5.1f%%", 100*float64(m[k])/float64(total))
+		}
+		fmt.Fprintf(w, "  %10d%s  %s\n", m[k], pct, k)
+	}
+}
+
+// WriteSimProfile renders a profile as the frequency tables the dynamic
+// code-quality experiment (E3) reads: opcodes, addressing modes and
+// per-function step counts, each sorted by frequency.
+func WriteSimProfile(w io.Writer, p SimProfile) {
+	fmt.Fprintf(w, "instructions executed: %d\n", p.Steps)
+	writeFreqTable(w, "opcode frequency", p.Opcodes, p.Steps)
+	var opEvals int64
+	for _, n := range p.Modes {
+		opEvals += n
+	}
+	writeFreqTable(w, "addressing mode frequency (operand evaluations)", p.Modes, opEvals)
+	writeFreqTable(w, "per-function instruction counts", p.FuncSteps, p.Steps)
+}

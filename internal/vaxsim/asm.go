@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"ggcg/internal/obs"
 )
 
 // AddrMode is an operand addressing mode.
@@ -131,6 +133,21 @@ type dataInit struct {
 
 // dataBase is where static data is placed in simulated memory.
 const dataBase = 0x1000
+
+// AssembleObs is Assemble with instrumentation: the pass reports a span
+// and instruction/symbol counters to the observer (nil disables).
+func AssembleObs(src string, o *obs.Observer) (*Program, error) {
+	sp := o.Start("assemble")
+	defer sp.End()
+	p, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	o.Count("asm.instructions", int64(len(p.Instrs)))
+	o.Count("asm.labels", int64(len(p.Labels)))
+	o.Count("asm.globals", int64(len(p.Globals)))
+	return p, nil
+}
 
 // Assemble parses assembly text into an executable program.
 func Assemble(src string) (*Program, error) {

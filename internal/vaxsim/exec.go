@@ -780,6 +780,9 @@ func calls(m *Machine, in *Instr) error {
 	if err != nil {
 		return err
 	}
+	if m.fnSteps != nil {
+		m.fnStack = append(m.fnStack, sym)
+	}
 	m.push32(n)
 	apAddr := m.R[regSP]
 	m.push32(m.R[regAP])
@@ -798,6 +801,9 @@ func ret(m *Machine, in *Instr) error {
 	}
 	if len(m.frames) == 0 {
 		return fmt.Errorf("ret with no active frame")
+	}
+	if m.fnSteps != nil && len(m.fnStack) > 0 {
+		m.fnStack = m.fnStack[:len(m.fnStack)-1]
 	}
 	m.restoreRegs(m.frames[len(m.frames)-1])
 	m.frames = m.frames[:len(m.frames)-1]

@@ -3,6 +3,8 @@ package vaxsim
 import (
 	"fmt"
 	"math"
+
+	"ggcg/internal/obs"
 )
 
 // Machine is a simulated VAX subset processor: sixteen 32-bit registers, a
@@ -24,6 +26,18 @@ type Machine struct {
 	Steps    int64
 	Counts   map[string]int64
 	MaxSteps int64
+
+	// modeCounts tallies operand evaluations by addressing mode (indexed
+	// by AddrMode); deferred and indexed variants are counted separately.
+	// Cheap fixed-slot increments, so they are always on.
+	modeCounts    [8]int64
+	deferredCount int64
+	indexedCount  int64
+
+	// fnSteps attributes executed instructions to the function (call
+	// stack top) executing them; nil until EnableFuncProfile.
+	fnSteps map[string]int64
+	fnStack []string
 }
 
 type frame struct {
@@ -92,6 +106,9 @@ func (m *Machine) CallPreservingState(name string, args ...int64) (int64, error)
 	if !ok {
 		return 0, fmt.Errorf("vaxsim: no function %q", name)
 	}
+	if m.fnSteps != nil {
+		m.fnStack = append(m.fnStack[:0], name)
+	}
 	for i := len(args) - 1; i >= 0; i-- {
 		m.push32(uint32(args[i]))
 	}
@@ -117,6 +134,9 @@ func (m *Machine) CallPreservingState(name string, args ...int64) (int64, error)
 		}
 		in := &m.p.Instrs[m.pc]
 		m.Counts[in.Mn]++
+		if m.fnSteps != nil && len(m.fnStack) > 0 {
+			m.fnSteps[m.fnStack[len(m.fnStack)-1]]++
+		}
 		m.pcNext = m.pc + 1
 		h := execTable[in.Mn]
 		if h == nil {
@@ -184,6 +204,13 @@ const (
 // autodecrement side effects (which must happen exactly once per operand
 // evaluation; cf. §6.1 on side-effect descriptors).
 func (m *Machine) resolve(o *Operand, size int) (loc, error) {
+	m.modeCounts[o.Mode]++
+	if o.Deferred {
+		m.deferredCount++
+	}
+	if o.Index >= 0 {
+		m.indexedCount++
+	}
 	var l loc
 	switch o.Mode {
 	case MReg:
@@ -338,6 +365,51 @@ func (m *Machine) writeFloat(l loc, size int, v float64) error {
 		m.storeMem(l.addr, 8, math.Float64bits(v))
 		return nil
 	}
+}
+
+// EnableFuncProfile turns on per-function step attribution: each executed
+// instruction is charged to the function on top of the simulated call
+// stack. Off by default (it costs a map increment per step).
+func (m *Machine) EnableFuncProfile() {
+	if m.fnSteps == nil {
+		m.fnSteps = make(map[string]int64)
+	}
+}
+
+// modeNames labels the addressing modes in profile output, in AddrMode
+// order (the assembler's surface syntax).
+var modeNames = [8]string{"rN", "(rN)", "d(rN)", "_abs", "$imm", "(rN)+", "-(rN)", "label"}
+
+// Profile snapshots the machine's dynamic execution profile: opcode
+// frequencies, operand addressing-mode frequencies and, when enabled,
+// per-function step counts.
+func (m *Machine) Profile() obs.SimProfile {
+	p := obs.SimProfile{Steps: m.Steps}
+	if len(m.Counts) > 0 {
+		p.Opcodes = make(map[string]int64, len(m.Counts))
+		for mn, n := range m.Counts {
+			p.Opcodes[mn] = n
+		}
+	}
+	p.Modes = make(map[string]int64)
+	for i, n := range m.modeCounts {
+		if n > 0 {
+			p.Modes[modeNames[i]] = n
+		}
+	}
+	if m.deferredCount > 0 {
+		p.Modes["*deferred"] = m.deferredCount
+	}
+	if m.indexedCount > 0 {
+		p.Modes["[rX] indexed"] = m.indexedCount
+	}
+	if len(m.fnSteps) > 0 {
+		p.FuncSteps = make(map[string]int64, len(m.fnSteps))
+		for fn, n := range m.fnSteps {
+			p.FuncSteps[fn] = n
+		}
+	}
+	return p
 }
 
 // ReadGlobal reads size bytes of the named global as a signed integer, a
