@@ -6,6 +6,7 @@ package ggcg
 // naive vs improved construction, with vs without reverse operators).
 
 import (
+	"fmt"
 	"testing"
 
 	"ggcg/internal/cfront"
@@ -383,6 +384,67 @@ func BenchmarkCompileObserved(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// batchSources is a mixed batch: the whole correctness corpus plus a
+// spread of synthetic unit sizes, so the scaling numbers are not an
+// artifact of uniformly sized units.
+func batchSources() []string {
+	progs := corpus.Programs()
+	srcs := make([]string, 0, len(progs)+8)
+	for _, p := range progs {
+		srcs = append(srcs, p.Src)
+	}
+	for n := 8; n <= 36; n += 4 {
+		srcs = append(srcs, corpus.Large(n))
+	}
+	return srcs
+}
+
+// Batch compilation throughput over the shared once-built tables at
+// several worker-pool widths — the scaling table in EXPERIMENTS.md comes
+// from this benchmark.
+func BenchmarkCompileBatch(b *testing.B) {
+	srcs := batchSources()
+	if _, err := vax.Tables(); err != nil { // exclude the one-time table build
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var trees int64
+			for i := 0; i < b.N; i++ {
+				out, err := CompileBatch(srcs, BatchConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				trees = 0
+				for _, c := range out {
+					trees += int64(c.Stats.Trees)
+				}
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)*float64(len(srcs))/secs, "units/sec")
+				b.ReportMetric(float64(b.N)*float64(trees)/secs, "trees/sec")
+			}
+		})
+	}
+}
+
+// Independent Compile calls from concurrent goroutines, all driving the
+// same shared tables — the contention profile CI's race job watches.
+func BenchmarkCompileParallel(b *testing.B) {
+	src := corpus.Large(40)
+	if _, err := vax.Tables(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := Compile(src, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Peephole: the optimizer pass over generated output (the §6.1 extension).

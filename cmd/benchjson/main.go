@@ -1,0 +1,28 @@
+// Benchjson converts `go test -bench` text output on stdin to a JSON
+// document on stdout, for archiving benchmark runs as CI artifacts:
+//
+//	go test -run='^$' -bench=. . | tee bench.txt
+//	go run ./cmd/benchjson < bench.txt > BENCH_ci.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ggcg/internal/benchfmt"
+)
+
+func main() {
+	set, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(set); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

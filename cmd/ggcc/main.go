@@ -3,17 +3,27 @@
 // hand-written ad hoc generator it is compared against), optionally
 // executing the result on the bundled VAX-subset simulator.
 //
+// With several input files ggcc becomes a batch compiler: the units are
+// compiled concurrently by -j workers over the shared once-built tables
+// and the assembly is written in input order; -stats then also reports
+// aggregate throughput (units/sec, trees/sec).
+//
 // Usage:
 //
-//	ggcc [flags] file.c
+//	ggcc [flags] file.c [file2.c ...]
 //
 //	-S            write assembly to stdout (default when not running)
-//	-o file       write assembly to file
+//	-o file       write assembly to file (single input only)
+//	-j N          number of parallel workers (0 = GOMAXPROCS); with one
+//	              input file the workers compile its functions
 //	-baseline     use the ad hoc baseline code generator
 //	-no-reverse   disable the reverse-operator reordering (§5.1.3)
 //	-trace        print the pattern matcher's shift/reduce actions
+//	              (single input only)
 //	-run          assemble and execute main(), printing its result
-//	-stats        print code-generation statistics
+//	              (single input only)
+//	-stats        print code-generation statistics (and, for a batch,
+//	              aggregate throughput)
 //	-profile      print the instrumentation report (phase spans, counters,
 //	              histograms, coverage, execution profile) to stderr
 //	-coverage     print machine-description table coverage (productions
@@ -25,39 +35,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"ggcg"
 )
 
 func main() {
 	var (
-		outFile   = flag.String("o", "", "write assembly to `file`")
+		outFile   = flag.String("o", "", "write assembly to `file` (single input only)")
+		jobs      = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 		baseline  = flag.Bool("baseline", false, "use the ad hoc baseline code generator")
 		optimize  = flag.Bool("O", false, "run the peephole optimizer over the output")
 		noReverse = flag.Bool("no-reverse", false, "disable reverse binary operators")
-		trace     = flag.Bool("trace", false, "print pattern matcher actions")
-		run       = flag.Bool("run", false, "assemble and execute main()")
+		trace     = flag.Bool("trace", false, "print pattern matcher actions (single input only)")
+		run       = flag.Bool("run", false, "assemble and execute main() (single input only)")
 		stats     = flag.Bool("stats", false, "print code-generation statistics")
 		profile   = flag.Bool("profile", false, "print the instrumentation report to stderr")
 		coverage  = flag.Bool("coverage", false, "print table coverage (productions fired, states visited)")
 		events    = flag.String("events", "", "write JSONL instrumentation events to `file`")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ggcc [flags] file.c")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: ggcc [flags] file.c [file2.c ...]")
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	files := flag.Args()
+	batch := len(files) > 1
+	if batch {
+		for name, on := range map[string]bool{"-trace": *trace, "-run": *run, "-o": *outFile != ""} {
+			if on {
+				fatal(fmt.Errorf("%s applies to a single input file, got %d", name, len(files)))
+			}
+		}
+	}
+	srcs := make([]string, len(files))
+	for i, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		srcs[i] = string(data)
 	}
 
 	var obs *ggcg.Observer
 	var eventsFile *os.File
 	if *profile || *coverage || *events != "" {
-		cfg := ggcg.ObserverConfig{TrackAllocs: *profile}
+		cfg := ggcg.ObserverConfig{TrackAllocs: *profile && !batch && *jobs <= 1}
 		if *events != "" {
+			var err error
 			eventsFile, err = os.Create(*events)
 			if err != nil {
 				fatal(err)
@@ -72,26 +99,63 @@ func main() {
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
-	out, err := ggcg.Compile(string(src), cfg)
-	if err != nil {
-		fatal(err)
+
+	var outs []*ggcg.Compiled
+	var elapsed time.Duration
+	if batch {
+		start := time.Now()
+		res, err := ggcg.CompileBatch(srcs, ggcg.BatchConfig{Workers: *jobs, Config: cfg})
+		elapsed = time.Since(start)
+		if err != nil {
+			fatal(err)
+		}
+		outs = res
+	} else {
+		cfg.Workers = *jobs
+		start := time.Now()
+		out, err := ggcg.Compile(srcs[0], cfg)
+		elapsed = time.Since(start)
+		if err != nil {
+			fatal(err)
+		}
+		outs = []*ggcg.Compiled{out}
 	}
+
 	if *stats {
-		s := out.Stats
+		var agg ggcg.Stats
+		for _, out := range outs {
+			s := out.Stats
+			agg.Trees += s.Trees
+			agg.Shifts += s.Shifts
+			agg.Reduces += s.Reduces
+			agg.Spills += s.Spills
+			agg.BindingIdioms += s.BindingIdioms
+			agg.RangeIdioms += s.RangeIdioms
+			agg.AsmLines += s.AsmLines
+		}
 		fmt.Fprintf(os.Stderr,
 			"trees %d  shifts %d  reduces %d  spills %d  binding idioms %d  range idioms %d  asm lines %d\n",
-			s.Trees, s.Shifts, s.Reduces, s.Spills, s.BindingIdioms, s.RangeIdioms, s.AsmLines)
+			agg.Trees, agg.Shifts, agg.Reduces, agg.Spills, agg.BindingIdioms, agg.RangeIdioms, agg.AsmLines)
+		if batch {
+			secs := elapsed.Seconds()
+			fmt.Fprintf(os.Stderr, "batch: %d units in %v with %d workers: %.0f units/sec, %.0f trees/sec\n",
+				len(outs), elapsed.Round(time.Microsecond), batchWorkers(*jobs, len(outs)),
+				float64(len(outs))/secs, float64(agg.Trees)/secs)
+		}
 	}
+
 	switch {
 	case *outFile != "":
-		if err := os.WriteFile(*outFile, []byte(out.Asm), 0o644); err != nil {
+		if err := os.WriteFile(*outFile, []byte(outs[0].Asm), 0o644); err != nil {
 			fatal(err)
 		}
 	case !*run:
-		fmt.Print(out.Asm)
+		for _, out := range outs {
+			fmt.Print(out.Asm)
+		}
 	}
 	if *run {
-		m, err := ggcg.NewMachineObs(out.Asm, obs)
+		m, err := ggcg.NewMachineObs(outs[0].Asm, obs)
 		if err != nil {
 			fatal(err)
 		}
@@ -119,6 +183,17 @@ func main() {
 			}
 		}
 	}
+}
+
+// batchWorkers mirrors CompileBatch's worker-count clamp for reporting.
+func batchWorkers(jobs, units int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > units {
+		jobs = units
+	}
+	return jobs
 }
 
 func fatal(err error) {

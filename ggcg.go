@@ -75,7 +75,17 @@ type Config struct {
 
 	// Observer, if non-nil, instruments the whole compilation: phase
 	// spans, counters, histograms and table coverage accumulate into it.
+	// Observers are safe for concurrent use; CompileBatch and the
+	// per-function parallel path record through per-worker shards so hot
+	// paths never contend.
 	Observer *Observer
+
+	// Workers sets the number of goroutines compiling independent
+	// functions of the unit concurrently over the shared read-only
+	// tables; 0 or 1 compiles sequentially. The output is byte-identical
+	// to the sequential output. Ignored by the baseline generator and
+	// when Trace is set (the shift/reduce listing is per-action ordered).
+	Workers int
 }
 
 // Stats reports code-generation work for one compilation.
@@ -147,6 +157,12 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 		Transform: transform.Options{NoReverseOps: cfg.NoReverseOps},
 		Peephole:  cfg.Peephole,
 		Obs:       o,
+		Workers:   cfg.Workers,
+	}
+	if cfg.Trace != nil {
+		// The appendix-style listing is ordered per matcher action;
+		// concurrent functions would interleave it.
+		opt.Workers = 0
 	}
 	res, err := codegen.Compile(unit, opt)
 	if err != nil {
@@ -238,13 +254,12 @@ type GrammarInfo struct {
 	ChainRules         int
 }
 
-// Info returns grammar and table statistics for the VAX description.
+// Info returns grammar and table statistics for the VAX description. The
+// statistics are computed from the same once-built shared grammar and
+// tables every compilation drives, so a CLI table dump cannot diverge
+// from what Compile actually uses.
 func Info() (GrammarInfo, error) {
 	gen, err := vax.GenericStats()
-	if err != nil {
-		return GrammarInfo{}, err
-	}
-	full, err := vax.Grammar()
 	if err != nil {
 		return GrammarInfo{}, err
 	}
@@ -252,7 +267,7 @@ func Info() (GrammarInfo, error) {
 	if err != nil {
 		return GrammarInfo{}, err
 	}
-	fs := full.Stats()
+	fs := t.Grammar.Stats()
 	return GrammarInfo{
 		GenericProductions: gen.Productions,
 		Productions:        fs.Productions,
@@ -267,14 +282,22 @@ func Info() (GrammarInfo, error) {
 // BuildTables constructs the instruction-selection tables from the VAX
 // description, optionally with the naive first-cut algorithm (the
 // configuration that took "over two hours of VAX 11/780 CPU time", §7).
-// It exists so benchmarks and tools can measure construction itself;
-// Compile uses a cached copy.
+// The standard (non-naive) configuration returns the same once-built
+// shared tables Compile drives, so a table dump and a compilation can
+// never describe different objects; only the naive experiment rebuilds.
 func BuildTables(naive bool) (states int, err error) {
+	if !naive {
+		t, err := vax.Tables()
+		if err != nil {
+			return 0, err
+		}
+		return t.Stats.States, nil
+	}
 	g, err := vax.Grammar()
 	if err != nil {
 		return 0, err
 	}
-	t, err := tablegen.Build(g, tablegen.Options{Naive: naive})
+	t, err := tablegen.Build(g, tablegen.Options{Naive: true})
 	if err != nil {
 		return 0, err
 	}

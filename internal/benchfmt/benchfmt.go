@@ -1,0 +1,124 @@
+// Package benchfmt parses the text output of `go test -bench` into
+// structured records, so CI can archive benchmark runs as JSON artifacts
+// and compare them across commits without re-parsing free-form text.
+//
+// The parser understands the standard line shape
+//
+//	BenchmarkName/sub=1-8  	     122	  19671600 ns/op	      4016 units/sec
+//
+// (name with an optional -P GOMAXPROCS suffix, an iteration count, then
+// value/unit metric pairs) plus the goos/goarch/pkg/cpu context lines the
+// testing package prints before the first benchmark. Unrecognized lines
+// are ignored, so raw `go test` output can be piped in unfiltered.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name with any trailing -P GOMAXPROCS suffix
+	// removed (it is reported separately as Procs).
+	Name string `json:"name"`
+
+	// Procs is the GOMAXPROCS suffix of the line, or 0 when absent.
+	Procs int `json:"procs,omitempty"`
+
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+
+	// Metrics maps unit -> value for every value/unit pair on the line,
+	// e.g. "ns/op", "B/op", "allocs/op", "units/sec".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Set is a parsed benchmark run: the context the testing package prints
+// once, plus every benchmark line in order.
+type Set struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and returns the structured run.
+// Lines that are not benchmark results or context headers are skipped.
+func Parse(r io.Reader) (*Set, error) {
+	set := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			set.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			set.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			set.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			set.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				set.Results = append(set.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+func parseLine(line string) (Result, bool, error) {
+	f := strings.Fields(line)
+	// A result line needs a name, an iteration count, and at least one
+	// value/unit pair. "BenchmarkFoo" alone (a -v progress line) is not
+	// a result.
+	if len(f) < 4 {
+		return Result{}, false, nil
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil // e.g. "BenchmarkFoo---FAIL: ..."
+	}
+	res := Result{Name: f[0], Iterations: iters, Metrics: make(map[string]float64)}
+	res.Name, res.Procs = splitProcs(res.Name)
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false, fmt.Errorf("benchfmt: odd metric fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchfmt: bad metric value %q in %q", rest[i], line)
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, true, nil
+}
+
+// splitProcs removes the testing package's trailing "-P" GOMAXPROCS
+// suffix. Only an all-digit suffix after the final dash qualifies, so
+// sub-benchmark names like "workers=4" survive intact.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name, 0
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 0
+	}
+	return name[:i], p
+}

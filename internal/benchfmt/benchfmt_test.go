@@ -1,0 +1,103 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ggcg
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCompile         	     547	   4117340 ns/op
+BenchmarkCompileBatch/workers=1-8         	     122	  19671600 ns/op	    130594 trees/sec	      4016 units/sec
+BenchmarkCompileBatch/workers=4         	     100	  21027158 ns/op	    122175 trees/sec	      3757 units/sec
+BenchmarkE3_ExecuteTableDriven-2   	     100	  12345678 ns/op	     54321 instructions/op
+BenchmarkCompileObserved
+ok  	ggcg	16.213s
+`
+
+func TestParse(t *testing.T) {
+	set, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Goos != "linux" || set.Goarch != "amd64" || set.Pkg != "ggcg" {
+		t.Errorf("context = %q/%q/%q", set.Goos, set.Goarch, set.Pkg)
+	}
+	if !strings.Contains(set.CPU, "Xeon") {
+		t.Errorf("cpu = %q", set.CPU)
+	}
+	if len(set.Results) != 4 {
+		t.Fatalf("got %d results, want 4: %+v", len(set.Results), set.Results)
+	}
+
+	r := set.Results[0]
+	if r.Name != "BenchmarkCompile" || r.Procs != 0 || r.Iterations != 547 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 4117340 {
+		t.Errorf("ns/op = %v", r.Metrics["ns/op"])
+	}
+
+	r = set.Results[1]
+	if r.Name != "BenchmarkCompileBatch/workers=1" || r.Procs != 8 {
+		t.Errorf("procs suffix not split: %+v", r)
+	}
+	if r.Metrics["units/sec"] != 4016 || r.Metrics["trees/sec"] != 130594 {
+		t.Errorf("custom metrics = %v", r.Metrics)
+	}
+
+	// "workers=4" has a dash-free tail and no procs suffix; the =4 must
+	// not be mistaken for one.
+	r = set.Results[2]
+	if r.Name != "BenchmarkCompileBatch/workers=4" || r.Procs != 0 {
+		t.Errorf("sub-benchmark name mangled: %+v", r)
+	}
+
+	r = set.Results[3]
+	if r.Name != "BenchmarkE3_ExecuteTableDriven" || r.Procs != 2 {
+		t.Errorf("result 3 = %+v", r)
+	}
+	if r.Metrics["instructions/op"] != 54321 {
+		t.Errorf("instructions/op = %v", r.Metrics["instructions/op"])
+	}
+}
+
+func TestParseRoundTripsJSON(t *testing.T) {
+	set, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(set.Results) || back.CPU != set.CPU {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestParseRejectsMalformedMetrics(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX 10 123 ns/op extra\n")); err == nil {
+		t.Error("odd metric fields not rejected")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX 10 abc ns/op\n")); err == nil {
+		t.Error("non-numeric metric value not rejected")
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	set, err := Parse(strings.NewReader("PASS\nok ggcg 1.0s\n--- BENCH: x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Results) != 0 {
+		t.Errorf("noise produced results: %+v", set.Results)
+	}
+}

@@ -6,6 +6,8 @@ package codegen
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ggcg/internal/ir"
 	"ggcg/internal/matcher"
@@ -41,6 +43,13 @@ type Options struct {
 	// Obs, if non-nil, receives phase spans, counters/histograms and
 	// table coverage for the whole compilation (see internal/obs).
 	Obs *obs.Observer
+
+	// Workers sets the number of goroutines that compile independent
+	// functions of the unit concurrently; 0 or 1 compiles sequentially.
+	// Functions share only the immutable tables, so the parallel output
+	// is byte-identical to the sequential output. Ignored (sequential)
+	// when Trace or WrapSem is set, since both observe per-action order.
+	Workers int
 }
 
 // Stats reports code-generation work.
@@ -87,14 +96,24 @@ func Compile(u *ir.Unit, opt Options) (*Result, error) {
 	out := vax.NewEmitter()
 	vax.EmitGlobals(out, u.Globals)
 	res := &Result{}
-	labelBase := 0
-	for _, f := range u.Funcs {
-		next, err := compileFunc(out, t, f, opt, &res.Stats, labelBase)
-		if err != nil {
+	// Parallelism is skipped whenever any per-action trace consumer is
+	// attached: the listing is ordered, and observer shards deliberately
+	// do not inherit trace sinks.
+	if opt.Workers > 1 && len(u.Funcs) > 1 && opt.Trace == nil && opt.WrapSem == nil && !o.WantsTrace() {
+		if err := compileFuncsParallel(out, t, u, opt, res); err != nil {
 			sp.End()
 			return nil, err
 		}
-		labelBase = next
+	} else {
+		labelBase := 0
+		for _, f := range u.Funcs {
+			next, err := compileFunc(out, t, f, opt, &res.Stats, labelBase)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
+			labelBase = next
+		}
 	}
 	res.Asm = out.String()
 	res.Stats.AsmLines = out.Lines()
@@ -149,29 +168,62 @@ func CountPeep(o *obs.Observer, pst peep.Stats) {
 // compileFunc generates one function, numbering its labels from labelBase
 // so labels are unique across the output file; it returns the next base.
 func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, stats *Stats, labelBase int) (int, error) {
-	o := opt.Obs
-
-	// Phase 1: tree transformation.
-	tsp := o.Start("transform")
-	tf, err := transform.Func(f, opt.Transform)
-	tsp.End()
+	tf, err := transformFunc(f, opt)
 	if err != nil {
 		return 0, err
 	}
+	if err := generateFunc(out, t, f.Name, tf, opt, stats, labelBase); err != nil {
+		return 0, err
+	}
+	return labelBase + maxLabelOf(tf) + 1, nil
+}
 
-	// Phases 2–4 interleave: reductions invoke the instruction generator,
-	// which emits formatted assembly. The body is generated into its own
-	// emitter because the frame size (including spill temporaries) is only
-	// known afterwards.
-	body := vax.NewEmitter()
-	gen := vax.NewGen(body, tf)
-	gen.LabelBase = labelBase
+// transformFunc runs phase 1 (tree transformation) for one function.
+func transformFunc(f *ir.Func, opt Options) (*ir.Func, error) {
+	o := opt.Obs
+	tsp := o.Start("transform")
+	tf, err := transform.Func(f, opt.Transform)
+	tsp.End()
+	return tf, err
+}
+
+// maxLabelOf returns the largest label a transformed function mentions
+// (as a label item or a Lab leaf), so the next function's labels can be
+// numbered after it. Labels are static in the transformed body, which is
+// what lets the bases be computed before — and therefore independently of
+// — instruction selection.
+func maxLabelOf(tf *ir.Func) int {
 	maxLabel := 0
 	note := func(id int) {
 		if id > maxLabel {
 			maxLabel = id
 		}
 	}
+	for _, it := range tf.Items {
+		if it.Kind == ir.ItemLabel {
+			note(it.Label)
+			continue
+		}
+		it.Tree.Walk(func(n *ir.Node) bool {
+			if n.Op == ir.Lab {
+				note(int(n.Val))
+			}
+			return true
+		})
+	}
+	return maxLabel
+}
+
+// generateFunc runs phases 2–4 for one transformed function, appending
+// the function header and body to out. Phases 2–4 interleave: reductions
+// invoke the instruction generator, which emits formatted assembly. The
+// body is generated into its own emitter because the frame size
+// (including spill temporaries) is only known afterwards.
+func generateFunc(out *vax.Emitter, t *tablegen.Tables, name string, tf *ir.Func, opt Options, stats *Stats, labelBase int) error {
+	o := opt.Obs
+	body := vax.NewEmitter()
+	gen := vax.NewGen(body, tf)
+	gen.LabelBase = labelBase
 	var sem matcher.Semantics = gen
 	if opt.WrapSem != nil {
 		sem = opt.WrapSem(gen)
@@ -203,31 +255,24 @@ func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, 
 			gen.RM.Phase1Busy(r, true)
 		}
 		if it.Kind == ir.ItemLabel {
-			note(it.Label)
 			body.Label(labelBase + it.Label)
 			continue
 		}
-		it.Tree.Walk(func(n *ir.Node) bool {
-			if n.Op == ir.Lab {
-				note(int(n.Val))
-			}
-			return true
-		})
 		if o.Enabled() {
 			o.Observe("codegen.tree_depth", int64(treeDepth(it.Tree)))
 		}
 		if _, err := m.Match(ir.Linearize(it.Tree)); err != nil {
-			return 0, fmt.Errorf("codegen: %s: %v", f.Name, err)
+			return fmt.Errorf("codegen: %s: %v", name, err)
 		}
 		if err := gen.RM.CheckStatementEnd(); err != nil {
-			return 0, fmt.Errorf("codegen: %s: %v (tree %s)", f.Name, err, it.Tree)
+			return fmt.Errorf("codegen: %s: %v (tree %s)", name, err, it.Tree)
 		}
 		for _, r := range last[i] {
 			gen.RM.Phase1Busy(r, false)
 		}
 	}
 
-	vax.FuncHeader(out, f.Name, tf.TotalFrame())
+	vax.FuncHeader(out, name, tf.TotalFrame())
 	out.Append(body)
 
 	stats.Matcher = addMatcherStats(stats.Matcher, m.Stats())
@@ -238,7 +283,89 @@ func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, 
 	stats.BindingIdioms += gen.BindingIdioms
 	stats.RangeIdioms += gen.RangeIdioms
 	stats.TstBackstops += body.TstBackstops
-	return labelBase + maxLabel + 1, nil
+	return nil
+}
+
+// compileFuncsParallel is the concurrent unit body: every function is
+// transformed and selected independently by a bounded worker pool over
+// the shared immutable tables, then the per-function outputs are stitched
+// in source order. Label bases are the same prefix sums the sequential
+// path chains through compileFunc, so the result is byte-identical.
+// Workers record instrumentation into private observer shards, merged
+// after the pool drains.
+func compileFuncsParallel(out *vax.Emitter, t *tablegen.Tables, u *ir.Unit, opt Options, res *Result) error {
+	o := opt.Obs
+	n := len(u.Funcs)
+	workers := opt.Workers
+	if workers > n {
+		workers = n
+	}
+
+	tfs := make([]*ir.Func, n)
+	fouts := make([]*vax.Emitter, n)
+	stats := make([]Stats, n)
+	errs := make([]error, n)
+	bases := make([]int, n)
+
+	// pool runs work(i) for every function index on the worker pool; each
+	// worker records into its own shard of opt.Obs for the duration.
+	pool := func(work func(i int, wopt Options)) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		shards := make([]*obs.Observer, workers)
+		for w := 0; w < workers; w++ {
+			shards[w] = o.Shard()
+			wg.Add(1)
+			go func(so *obs.Observer) {
+				defer wg.Done()
+				wopt := opt
+				wopt.Obs = so
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					work(i, wopt)
+				}
+			}(shards[w])
+		}
+		wg.Wait()
+		for _, s := range shards {
+			o.Merge(s)
+		}
+	}
+
+	// Phase 1 for every function; the label bases chained through the
+	// unit depend on the transformed bodies, so this is a barrier.
+	pool(func(i int, wopt Options) {
+		tfs[i], errs[i] = transformFunc(u.Funcs[i], wopt)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return err
+		}
+		if i+1 < n {
+			bases[i+1] = bases[i] + maxLabelOf(tfs[i]) + 1
+		}
+	}
+
+	// Phases 2–4, each function into its own emitter.
+	pool(func(i int, wopt Options) {
+		fouts[i] = vax.NewEmitter()
+		errs[i] = generateFunc(fouts[i], t, u.Funcs[i].Name, tfs[i], wopt, &stats[i], bases[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return err // lowest function index, as the sequential path reports
+		}
+		out.Append(fouts[i])
+		res.Stats.Matcher = addMatcherStats(res.Stats.Matcher, stats[i].Matcher)
+		res.Stats.Spills += stats[i].Spills
+		res.Stats.BindingIdioms += stats[i].BindingIdioms
+		res.Stats.RangeIdioms += stats[i].RangeIdioms
+		res.Stats.TstBackstops += stats[i].TstBackstops
+	}
+	return nil
 }
 
 // treeDepth is the height of an expression tree, observed into the

@@ -1,0 +1,111 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/corpus"
+	"ggcg/internal/ir"
+	"ggcg/internal/obs"
+)
+
+// The parallel unit body must be byte-identical to the sequential one:
+// same assembly, same statistics, for every worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	srcs := map[string]string{"large": corpus.Large(40)}
+	for _, p := range corpus.Programs() {
+		srcs[p.Name] = p.Src
+	}
+	for name, src := range srcs {
+		u, err := cfront.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := Compile(u, Options{})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := Compile(u, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s: workers=%d: %v", name, workers, err)
+			}
+			if got.Asm != want.Asm {
+				t.Errorf("%s: workers=%d assembly differs from sequential", name, workers)
+			}
+			if *got != *want {
+				t.Errorf("%s: workers=%d stats = %+v, want %+v", name, workers, got.Stats, want.Stats)
+			}
+		}
+	}
+}
+
+// Parallel workers share one observer through per-worker shards; the
+// merged aggregates must equal the sequential observer's aggregates.
+func TestParallelObserverAggregates(t *testing.T) {
+	u, err := cfront.Compile(corpus.Large(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := obs.New(obs.Config{})
+	if _, err := Compile(u, Options{Obs: seq}); err != nil {
+		t.Fatal(err)
+	}
+	par := obs.New(obs.Config{})
+	if _, err := Compile(u, Options{Obs: par, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"codegen.trees", "codegen.reduces", "codegen.asm_lines", "codegen.spills"} {
+		if s, p := seq.Counter(c), par.Counter(c); s != p {
+			t.Errorf("counter %s: sequential %d, parallel %d", c, s, p)
+		}
+	}
+	sh, ph := seq.Histogram("codegen.tree_depth"), par.Histogram("codegen.tree_depth")
+	if sh.Count != ph.Count || sh.Sum != ph.Sum || sh.Max != ph.Max {
+		t.Errorf("tree_depth hist: sequential %+v, parallel %+v", sh, ph)
+	}
+	// Per-function transform/select spans end up aggregated under the
+	// codegen span either way.
+	var seqSel, parSel obs.PhaseStat
+	for _, p := range seq.Phases() {
+		if strings.HasSuffix(p.Path, "/select") || p.Path == "select" {
+			seqSel = p
+		}
+	}
+	for _, p := range par.Phases() {
+		if strings.HasSuffix(p.Path, "/select") || p.Path == "select" {
+			parSel = p
+		}
+	}
+	if seqSel.Count == 0 || seqSel.Count != parSel.Count {
+		t.Errorf("select span count: sequential %d, parallel %d", seqSel.Count, parSel.Count)
+	}
+}
+
+// A unit that fails to compile must report the same first (lowest
+// function index) error in both modes.
+func TestParallelFirstErrorMatchesSequential(t *testing.T) {
+	u, err := cfront.Compile(corpus.Large(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage two functions with trees the matcher blocks on (Mod over
+	// bytes has no production); the reported error must come from the
+	// lower function index in both modes.
+	block := `(Assign.b (Name.b x) (Mod.b (Name.b x) (Name.b x)))`
+	for _, i := range []int{3, 5} {
+		u.Funcs[i].Items = []ir.Item{{Kind: ir.ItemTree, Tree: ir.MustParse(block)}}
+	}
+	_, seqErr := Compile(u, Options{})
+	_, parErr := Compile(u, Options{Workers: 4})
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected errors, got sequential %v, parallel %v", seqErr, parErr)
+	}
+	if !strings.Contains(seqErr.Error(), "f3") {
+		t.Errorf("sequential error is not from the first bad function: %v", seqErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("sequential err = %q, parallel err = %q", seqErr, parErr)
+	}
+}

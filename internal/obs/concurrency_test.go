@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// Concurrent recording on one shared observer must lose nothing: counters,
+// histograms and coverage are atomic cells behind the structure lock.
+func TestConcurrentDirectRecording(t *testing.T) {
+	o := New(Config{})
+	o.SetCoverageUniverse(8, 8, nil)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				o.Count("work", 1)
+				o.Observe("depth", int64(i%7))
+				o.ProdReduced(1 + i%5)
+				o.StateVisited(i % 6)
+				// Out-of-universe indices force the grow path under the
+				// write lock while other workers hold the read lock.
+				if i%100 == 0 {
+					o.ProdReduced(20 + w)
+					o.StateVisited(20 + w)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := o.Counter("work"); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := o.Histogram("depth")
+	if h.Count != workers*perWorker {
+		t.Errorf("hist count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var fired int64
+	for i, n := range o.ProdFireCounts() {
+		if i >= 1 && i <= 5 {
+			fired += n
+		}
+	}
+	if fired != workers*perWorker {
+		t.Errorf("in-universe fired = %d, want %d", fired, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if n := o.ProdFireCounts()[20+w]; n != perWorker/100 {
+			t.Errorf("grown index %d fired = %d, want %d", 20+w, n, perWorker/100)
+		}
+	}
+}
+
+// Shards record privately and merge exactly: totals equal the sum of every
+// worker's contribution, phase aggregates nest under the parent's open
+// span, and the coverage universe is inherited.
+func TestShardMerge(t *testing.T) {
+	o := New(Config{})
+	o.SetCoverageUniverse(8, 8, func(i int) string { return "p" })
+	root := o.Start("compile")
+
+	const workers, perWorker = 4, 500
+	shards := make([]*Observer, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shards[w] = o.Shard()
+		wg.Add(1)
+		go func(s *Observer) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := s.Start("unit")
+				s.Count("work", 2)
+				s.Observe("depth", int64(i%9))
+				s.ProdReduced(3)
+				s.StateVisited(2)
+				sp.End()
+			}
+		}(shards[w])
+	}
+	wg.Wait()
+	root.End()
+	for _, s := range shards {
+		o.Merge(s)
+	}
+
+	if got := o.Counter("work"); got != 2*workers*perWorker {
+		t.Errorf("merged counter = %d, want %d", got, 2*workers*perWorker)
+	}
+	if h := o.Histogram("depth"); h.Count != workers*perWorker || h.Max != 8 {
+		t.Errorf("merged hist = %+v", h)
+	}
+	if n := o.ProdFireCounts()[3]; n != workers*perWorker {
+		t.Errorf("merged fired[3] = %d, want %d", n, workers*perWorker)
+	}
+	var unit PhaseStat
+	for _, p := range o.Phases() {
+		if p.Path == "compile/unit" {
+			unit = p
+		}
+	}
+	if unit.Count != workers*perWorker {
+		t.Errorf("compile/unit span count = %d, want %d (phases %+v)",
+			unit.Count, workers*perWorker, o.Phases())
+	}
+	if prods, states := shards[0].CoverageUniverse(); prods != 8 || states != 8 {
+		t.Errorf("shard universe = %d,%d, want 8,8", prods, states)
+	}
+}
+
+// A shard of a nil observer is nil, and merging nil shards is a no-op.
+func TestShardNilSafety(t *testing.T) {
+	var o *Observer
+	s := o.Shard()
+	if s != nil {
+		t.Fatal("shard of nil observer is not nil")
+	}
+	s.Count("c", 1)
+	o.Merge(s)
+	p := New(Config{})
+	p.Merge(nil)
+	p.Merge(p) // self-merge must not deadlock or double-count
+	if got := p.Counter("c"); got != 0 {
+		t.Fatalf("counter = %d, want 0", got)
+	}
+}
+
+// Shards share the parent's locked JSONL encoder: concurrent span events
+// from many shards must decode line by line.
+func TestShardSharedEventStream(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Config{Events: &syncWriter{w: &buf}})
+	const workers = 4
+	var wg sync.WaitGroup
+	shards := make([]*Observer, workers)
+	for w := 0; w < workers; w++ {
+		shards[w] = o.Shard()
+		wg.Add(1)
+		go func(s *Observer) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Start("unit").End()
+			}
+		}(shards[w])
+	}
+	wg.Wait()
+	for _, s := range shards {
+		o.Merge(s)
+	}
+	dec := json.NewDecoder(&buf)
+	spans := 0
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("event stream corrupted: %v", err)
+		}
+		if e.Kind == "span" {
+			spans++
+		}
+	}
+	if spans != workers*50 {
+		t.Errorf("decoded %d span events, want %d", spans, workers*50)
+	}
+}
+
+// syncWriter guards a bytes.Buffer; the encoder lock serializes encodes,
+// but the race detector still wants the underlying writer to be safe for
+// the final read.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,11 +1,17 @@
 package obs
 
+import "sync/atomic"
+
 // Table coverage: the dynamic counterpart of the paper's §8 machine
 // description statistics. The matcher reports every production it reduces
 // by and every SLR state it enters; against the universe supplied by the
 // code generator (production count, state count, a production formatter)
 // the observer can report hot productions and states, and — more usefully
 // for the grammar author — productions the compilation never exercised.
+//
+// The count vectors are incremented atomically under the observer's read
+// lock; growing a vector (a new universe, or an out-of-universe index)
+// takes the write lock, so concurrent increments are never lost.
 
 type coverage struct {
 	fired    []int64 // by production index (1-based; 0 is the augmented rule)
@@ -23,32 +29,46 @@ func (o *Observer) SetCoverageUniverse(nProds, nStates int, prodName func(int) s
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.cov.universe = nProds + 1
 	o.cov.nStates = nStates
 	o.cov.prodName = prodName
-	if len(o.cov.fired) < o.cov.universe {
-		o.cov.fired = append(o.cov.fired, make([]int64, o.cov.universe-len(o.cov.fired))...)
-	}
-	if len(o.cov.states) < nStates {
-		o.cov.states = append(o.cov.states, make([]int64, nStates-len(o.cov.states))...)
-	}
+	o.cov.fired = growLocked(o.cov.fired, o.cov.universe-1)
+	o.cov.states = growLocked(o.cov.states, nStates-1)
 }
 
-func grow(s []int64, i int) []int64 {
-	for len(s) <= i {
-		s = append(s, 0)
+// growLocked returns a vector long enough to index i, copying existing
+// counts. Callers hold the observer's write lock, so plain copies of the
+// atomically-updated cells are safe.
+func growLocked(s []int64, i int) []int64 {
+	if i < len(s) {
+		return s
 	}
-	return s
+	n := make([]int64, i+1)
+	copy(n, s)
+	return n
 }
 
 // ProdReduced records one reduction by the production with the given
-// (1-based) grammar index.
+// (1-based) grammar index. The fast path (index inside the declared
+// universe) holds only the read lock and bumps an atomic cell; growth
+// upgrades to the write lock.
 func (o *Observer) ProdReduced(index int) {
 	if o == nil || index < 0 {
 		return
 	}
-	o.cov.fired = grow(o.cov.fired, index)
+	o.mu.RLock()
+	if index < len(o.cov.fired) {
+		atomic.AddInt64(&o.cov.fired[index], 1)
+		o.mu.RUnlock()
+		return
+	}
+	o.mu.RUnlock()
+	o.mu.Lock()
+	o.cov.fired = growLocked(o.cov.fired, index)
 	o.cov.fired[index]++
+	o.mu.Unlock()
 }
 
 // StateVisited records the matcher entering an SLR state.
@@ -56,8 +76,17 @@ func (o *Observer) StateVisited(state int) {
 	if o == nil || state < 0 {
 		return
 	}
-	o.cov.states = grow(o.cov.states, state)
+	o.mu.RLock()
+	if state < len(o.cov.states) {
+		atomic.AddInt64(&o.cov.states[state], 1)
+		o.mu.RUnlock()
+		return
+	}
+	o.mu.RUnlock()
+	o.mu.Lock()
+	o.cov.states = growLocked(o.cov.states, state)
 	o.cov.states[state]++
+	o.mu.Unlock()
 }
 
 // ProdFireCounts returns fire counts by production index (indices with
@@ -66,9 +95,11 @@ func (o *Observer) ProdFireCounts() map[int]int64 {
 	if o == nil {
 		return nil
 	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	out := make(map[int]int64)
-	for i, n := range o.cov.fired {
-		if n > 0 {
+	for i := range o.cov.fired {
+		if n := atomic.LoadInt64(&o.cov.fired[i]); n > 0 {
 			out[i] = n
 		}
 	}
@@ -81,9 +112,11 @@ func (o *Observer) StateVisitCounts() map[int]int64 {
 	if o == nil {
 		return nil
 	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	out := make(map[int]int64)
-	for i, n := range o.cov.states {
-		if n > 0 {
+	for i := range o.cov.states {
+		if n := atomic.LoadInt64(&o.cov.states[i]); n > 0 {
 			out[i] = n
 		}
 	}
@@ -95,12 +128,17 @@ func (o *Observer) StateVisitCounts() map[int]int64 {
 // augmented rule (index 0) is excluded since acceptance, not reduction,
 // consumes it.
 func (o *Observer) NeverFired() []int {
-	if o == nil || o.cov.universe == 0 {
+	if o == nil {
+		return nil
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if o.cov.universe == 0 {
 		return nil
 	}
 	var out []int
 	for i := 1; i < o.cov.universe; i++ {
-		if i >= len(o.cov.fired) || o.cov.fired[i] == 0 {
+		if i >= len(o.cov.fired) || atomic.LoadInt64(&o.cov.fired[i]) == 0 {
 			out = append(out, i)
 		}
 	}
@@ -109,25 +147,55 @@ func (o *Observer) NeverFired() []int {
 
 // ProdName formats a production index using the universe's formatter.
 func (o *Observer) ProdName(index int) string {
-	if o == nil || o.cov.prodName == nil {
-		return "#" + itoa(int64(index))
+	if o != nil {
+		o.mu.RLock()
+		fn := o.cov.prodName
+		o.mu.RUnlock()
+		if fn != nil {
+			return fn(index)
+		}
 	}
-	return o.cov.prodName(index)
+	return "#" + itoa(int64(index))
 }
 
 // CoverageUniverse returns the declared universe: production count
 // (excluding the augmented rule) and state count. Zeros mean unset.
 func (o *Observer) CoverageUniverse() (prods, states int) {
-	if o == nil || o.cov.universe == 0 {
+	if o == nil {
+		return 0, 0
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if o.cov.universe == 0 {
 		return 0, 0
 	}
 	return o.cov.universe - 1, o.cov.nStates
 }
 
+// merge folds another coverage into c. Both observers' write locks are
+// held by the caller (Merge).
+func (c *coverage) merge(s *coverage) {
+	if c.universe == 0 {
+		c.universe = s.universe
+		c.nStates = s.nStates
+	}
+	if c.prodName == nil {
+		c.prodName = s.prodName
+	}
+	c.fired = growLocked(c.fired, len(s.fired)-1)
+	for i := range s.fired {
+		c.fired[i] += atomic.LoadInt64(&s.fired[i])
+	}
+	c.states = growLocked(c.states, len(s.states)-1)
+	for i := range s.states {
+		c.states[i] += atomic.LoadInt64(&s.states[i])
+	}
+}
+
 func (c *coverage) firedMap() map[string]int64 {
 	out := make(map[string]int64)
-	for i, n := range c.fired {
-		if n > 0 {
+	for i := range c.fired {
+		if n := atomic.LoadInt64(&c.fired[i]); n > 0 {
 			out[itoa(int64(i))] = n
 		}
 	}
@@ -136,8 +204,8 @@ func (c *coverage) firedMap() map[string]int64 {
 
 func (c *coverage) stateMap() map[string]int64 {
 	out := make(map[string]int64)
-	for i, n := range c.states {
-		if n > 0 {
+	for i := range c.states {
+		if n := atomic.LoadInt64(&c.states[i]); n > 0 {
 			out[itoa(int64(i))] = n
 		}
 	}

@@ -23,10 +23,20 @@
 // guard with an explicit nil check so a disabled observer costs one
 // predictable branch.
 //
+// An Observer is safe for concurrent use: counters, histograms and
+// coverage are recorded with atomic cells behind a read lock, so
+// concurrent compilations may share one observer directly. For worker
+// pools, Shard gives each goroutine a private child observer with
+// lock-free recording on its own state; the parent folds every shard back
+// in with Merge after the workers finish, so the hot paths never contend.
+// The one concurrency caveat is span *nesting*: spans started concurrently
+// on one shared observer serialize onto a single stack and may report
+// interleaved paths — per-goroutine shards keep nesting exact.
+//
 // Signals export two ways: structured JSONL events on the configured
 // Events writer (one JSON object per line, round-trippable through
-// encoding/json), and a human-readable report via WriteReport. An Observer
-// is not safe for concurrent use, matching the pipeline it instruments.
+// encoding/json; shards share the parent's locked encoder), and a
+// human-readable report via WriteReport.
 package obs
 
 import (
@@ -34,6 +44,8 @@ import (
 	"io"
 	"math/bits"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -51,7 +63,8 @@ type Config struct {
 
 	// TrackAllocs measures heap allocation deltas across spans using
 	// runtime.ReadMemStats. Accurate but costly per span boundary; off by
-	// default.
+	// default. The counter is process-global, so spans running in
+	// parallel workers attribute each other's allocations.
 	TrackAllocs bool
 }
 
@@ -87,25 +100,54 @@ type PhaseStat struct {
 	Bytes int64
 }
 
+// encoder serializes concurrent JSONL emission: a parent observer and all
+// its shards write through one locked json.Encoder so event lines never
+// interleave.
+type encoder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (e *encoder) encode(v any) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.enc.Encode(v) // best effort; a sink error must not abort compilation
+	e.mu.Unlock()
+}
+
 // Observer accumulates instrumentation for one pipeline run. The zero
 // value is unusable; construct with New. A nil *Observer is a valid
 // disabled observer: every method no-ops.
+//
+// mu is a structure lock: hot-path recording (Count, Observe, ProdReduced,
+// StateVisited) takes it in read mode and bumps an atomic cell, while
+// creating a new counter/histogram, growing a coverage vector, span
+// bookkeeping, merging and reporting take it in write mode.
 type Observer struct {
 	cfg Config
-	enc *json.Encoder
+	enc *encoder
+
+	mu sync.RWMutex
 
 	stack      []*Span
 	phases     map[string]*PhaseStat
 	phaseOrder []string
 
-	counters     map[string]int64
+	counters     map[string]*atomic.Int64
 	counterOrder []string
-	hists        map[string]*Hist
+	hists        map[string]*hist
 	histOrder    []string
 
 	cov       coverage
 	sim       SimProfile
 	traceSink func(TraceEvent)
+
+	// Shards prefix their top-level span paths with the parent's open
+	// span path at Shard time, so merged phase tables nest naturally.
+	prefix    string
+	baseDepth int
 }
 
 // New returns an enabled Observer.
@@ -113,11 +155,11 @@ func New(cfg Config) *Observer {
 	o := &Observer{
 		cfg:      cfg,
 		phases:   make(map[string]*PhaseStat),
-		counters: make(map[string]int64),
-		hists:    make(map[string]*Hist),
+		counters: make(map[string]*atomic.Int64),
+		hists:    make(map[string]*hist),
 	}
 	if cfg.Events != nil {
-		o.enc = json.NewEncoder(cfg.Events)
+		o.enc = &encoder{enc: json.NewEncoder(cfg.Events)}
 	}
 	return o
 }
@@ -125,11 +167,7 @@ func New(cfg Config) *Observer {
 // Enabled reports whether the observer records anything.
 func (o *Observer) Enabled() bool { return o != nil }
 
-func (o *Observer) emit(e *Event) {
-	if o.enc != nil {
-		o.enc.Encode(e) // best effort; a sink error must not abort compilation
-	}
-}
+func (o *Observer) emit(e *Event) { o.enc.encode(e) }
 
 // Span is one timed region of the pipeline. A nil *Span (from a nil
 // observer) ends harmlessly.
@@ -149,17 +187,20 @@ func totalAlloc() uint64 {
 }
 
 // Start opens a span nested under the innermost open span. Spans close in
-// LIFO order via End.
+// LIFO order via End. Concurrent spans on one shared observer serialize
+// onto a single stack (use Shard for exact per-goroutine nesting).
 func (o *Observer) Start(name string) *Span {
 	if o == nil {
 		return nil
 	}
-	path := name
+	o.mu.Lock()
+	path := o.prefix + name
 	if n := len(o.stack); n > 0 {
 		path = o.stack[n-1].path + "/" + name
 	}
-	s := &Span{o: o, name: name, path: path, depth: len(o.stack)}
+	s := &Span{o: o, name: name, path: path, depth: o.baseDepth + len(o.stack)}
 	o.stack = append(o.stack, s)
+	o.mu.Unlock()
 	if o.cfg.TrackAllocs {
 		s.startAlloc = totalAlloc()
 	}
@@ -171,16 +212,21 @@ func (o *Observer) Start(name string) *Span {
 // span event. End is idempotent, so it can be deferred and also called
 // early on an error path.
 func (s *Span) End() {
-	if s == nil || s.done {
+	if s == nil {
 		return
 	}
-	s.done = true
 	ns := time.Since(s.start).Nanoseconds()
 	o := s.o
 	var delta int64
 	if o.cfg.TrackAllocs {
 		delta = int64(totalAlloc() - s.startAlloc)
 	}
+	o.mu.Lock()
+	if s.done {
+		o.mu.Unlock()
+		return
+	}
+	s.done = true
 	for i := len(o.stack) - 1; i >= 0; i-- {
 		if o.stack[i] == s {
 			o.stack = o.stack[:i]
@@ -196,6 +242,7 @@ func (s *Span) End() {
 	ps.Count++
 	ps.Ns += ns
 	ps.Bytes += delta
+	o.mu.Unlock()
 	o.emit(&Event{Kind: "span", Name: s.name, Path: s.path, Ns: ns, Bytes: delta, Depth: s.depth})
 }
 
@@ -204,6 +251,8 @@ func (o *Observer) Phases() []PhaseStat {
 	if o == nil {
 		return nil
 	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	out := make([]PhaseStat, 0, len(o.phaseOrder))
 	for _, p := range o.phaseOrder {
 		out = append(out, *o.phases[p])
@@ -216,10 +265,19 @@ func (o *Observer) Count(name string, delta int64) {
 	if o == nil {
 		return
 	}
-	if _, ok := o.counters[name]; !ok {
-		o.counterOrder = append(o.counterOrder, name)
+	o.mu.RLock()
+	c := o.counters[name]
+	o.mu.RUnlock()
+	if c == nil {
+		o.mu.Lock()
+		if c = o.counters[name]; c == nil {
+			c = new(atomic.Int64)
+			o.counters[name] = c
+			o.counterOrder = append(o.counterOrder, name)
+		}
+		o.mu.Unlock()
 	}
-	o.counters[name] += delta
+	c.Add(delta)
 }
 
 // Counter returns the current value of a named counter.
@@ -227,14 +285,27 @@ func (o *Observer) Counter(name string) int64 {
 	if o == nil {
 		return 0
 	}
-	return o.counters[name]
+	o.mu.RLock()
+	c := o.counters[name]
+	o.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
 }
 
-// Hist is a power-of-two bucketed histogram of non-negative values: bucket
-// 0 holds zeros, bucket i holds values in [2^(i-1), 2^i).
+// Hist is a snapshot of a power-of-two bucketed histogram of non-negative
+// values: bucket 0 holds zeros, bucket i holds values in [2^(i-1), 2^i).
 type Hist struct {
 	Count, Sum, Max int64
 	Buckets         [33]int64
+}
+
+// hist is the live recording cell behind a Hist snapshot; its fields are
+// bumped with atomic operations under the observer's read lock.
+type hist struct {
+	count, sum, max int64
+	buckets         [33]int64
 }
 
 func bucketOf(v int64) int {
@@ -271,13 +342,28 @@ func itoa(v int64) string {
 	return string(b[i:])
 }
 
-func (h *Hist) observe(v int64) {
-	h.Count++
-	h.Sum += v
-	if v > h.Max {
-		h.Max = v
+func (h *hist) observe(v int64) {
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, v)
+	for {
+		m := atomic.LoadInt64(&h.max)
+		if v <= m || atomic.CompareAndSwapInt64(&h.max, m, v) {
+			break
+		}
 	}
-	h.Buckets[bucketOf(v)]++
+	atomic.AddInt64(&h.buckets[bucketOf(v)], 1)
+}
+
+func (h *hist) snapshot() *Hist {
+	s := &Hist{
+		Count: atomic.LoadInt64(&h.count),
+		Sum:   atomic.LoadInt64(&h.sum),
+		Max:   atomic.LoadInt64(&h.max),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = atomic.LoadInt64(&h.buckets[i])
+	}
+	return s
 }
 
 // Observe records one value into a named histogram.
@@ -285,11 +371,17 @@ func (o *Observer) Observe(name string, v int64) {
 	if o == nil {
 		return
 	}
+	o.mu.RLock()
 	h := o.hists[name]
+	o.mu.RUnlock()
 	if h == nil {
-		h = &Hist{}
-		o.hists[name] = h
-		o.histOrder = append(o.histOrder, name)
+		o.mu.Lock()
+		if h = o.hists[name]; h == nil {
+			h = &hist{}
+			o.hists[name] = h
+			o.histOrder = append(o.histOrder, name)
+		}
+		o.mu.Unlock()
 	}
 	h.observe(v)
 }
@@ -299,11 +391,13 @@ func (o *Observer) Histogram(name string) *Hist {
 	if o == nil {
 		return nil
 	}
-	if h := o.hists[name]; h != nil {
-		c := *h
-		return &c
+	o.mu.RLock()
+	h := o.hists[name]
+	o.mu.RUnlock()
+	if h == nil {
+		return nil
 	}
-	return nil
+	return h.snapshot()
 }
 
 // TraceEvent is one pattern-matcher action in the obs event vocabulary.
@@ -332,18 +426,28 @@ func (e TraceEvent) String() string {
 
 // SetTraceSink installs a callback invoked for every matcher trace action
 // routed through Trace. The legacy appendix-style listing is such a sink.
+// Sinks are not inherited by shards: a sink typically writes to one
+// io.Writer, which concurrent workers would interleave.
 func (o *Observer) SetTraceSink(fn func(TraceEvent)) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
 	o.traceSink = fn
+	o.mu.Unlock()
 }
 
 // WantsTrace reports whether routing matcher trace actions to this
 // observer would have any effect, so callers can skip wiring the matcher
 // callback entirely.
 func (o *Observer) WantsTrace() bool {
-	return o != nil && (o.traceSink != nil || (o.enc != nil && o.cfg.TraceEvents))
+	if o == nil {
+		return false
+	}
+	o.mu.RLock()
+	sink := o.traceSink
+	o.mu.RUnlock()
+	return sink != nil || (o.enc != nil && o.cfg.TraceEvents)
 }
 
 // Trace records one matcher action: it is fanned to the trace sink (the
@@ -352,12 +456,99 @@ func (o *Observer) Trace(e TraceEvent) {
 	if o == nil {
 		return
 	}
-	if o.traceSink != nil {
-		o.traceSink(e)
+	o.mu.RLock()
+	sink := o.traceSink
+	o.mu.RUnlock()
+	if sink != nil {
+		sink(e)
 	}
 	if o.cfg.TraceEvents {
 		o.emit(&Event{Kind: "trace", Name: e.Kind, Term: e.Term, Prod: e.Prod, Rule: e.Rule})
 	}
+}
+
+// Shard returns a private child observer for one worker goroutine. The
+// child records into its own state with the parent's configuration —
+// sharing the parent's locked JSONL encoder, so event streams do not
+// interleave — and its top-level spans are prefixed with the parent's
+// innermost open span path, so merged phase tables nest as if the work
+// had run inline. Fold a finished shard back with Merge; a shard of a nil
+// observer is nil (and every shard method is nil-safe).
+func (o *Observer) Shard() *Observer {
+	if o == nil {
+		return nil
+	}
+	s := New(o.cfg)
+	s.enc = o.enc
+	o.mu.RLock()
+	if n := len(o.stack); n > 0 {
+		s.prefix = o.stack[n-1].path + "/"
+		s.baseDepth = n
+	}
+	cov := &o.cov
+	s.cov.universe = cov.universe
+	s.cov.nStates = cov.nStates
+	s.cov.prodName = cov.prodName
+	o.mu.RUnlock()
+	return s
+}
+
+// Merge folds everything a shard accumulated — phases, counters,
+// histograms, coverage and simulator profile — into o. Merge a shard at
+// most once, after its worker has stopped recording; merging it again
+// double-counts.
+func (o *Observer) Merge(s *Observer) {
+	if o == nil || s == nil || o == s {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	for _, path := range s.phaseOrder {
+		sp := s.phases[path]
+		ps := o.phases[path]
+		if ps == nil {
+			ps = &PhaseStat{Path: path}
+			o.phases[path] = ps
+			o.phaseOrder = append(o.phaseOrder, path)
+		}
+		ps.Count += sp.Count
+		ps.Ns += sp.Ns
+		ps.Bytes += sp.Bytes
+	}
+	for _, name := range s.counterOrder {
+		c := o.counters[name]
+		if c == nil {
+			c = new(atomic.Int64)
+			o.counters[name] = c
+			o.counterOrder = append(o.counterOrder, name)
+		}
+		c.Add(s.counters[name].Load())
+	}
+	for _, name := range s.histOrder {
+		sh := s.hists[name]
+		h := o.hists[name]
+		if h == nil {
+			h = &hist{}
+			o.hists[name] = h
+			o.histOrder = append(o.histOrder, name)
+		}
+		snap := sh.snapshot()
+		atomic.AddInt64(&h.count, snap.Count)
+		atomic.AddInt64(&h.sum, snap.Sum)
+		if snap.Max > atomic.LoadInt64(&h.max) {
+			atomic.StoreInt64(&h.max, snap.Max)
+		}
+		for i, n := range snap.Buckets {
+			if n != 0 {
+				atomic.AddInt64(&h.buckets[i], n)
+			}
+		}
+	}
+	o.cov.merge(&s.cov)
+	o.sim.Add(s.sim)
 }
 
 // Flush emits snapshot events — counters, histograms, coverage and the
@@ -368,11 +559,18 @@ func (o *Observer) Flush() {
 	if o == nil || o.enc == nil {
 		return
 	}
-	for _, name := range o.counterOrder {
-		o.emit(&Event{Kind: "counter", Name: name, Value: o.counters[name]})
+	o.mu.RLock()
+	counterOrder := append([]string(nil), o.counterOrder...)
+	histOrder := append([]string(nil), o.histOrder...)
+	o.mu.RUnlock()
+	for _, name := range counterOrder {
+		o.emit(&Event{Kind: "counter", Name: name, Value: o.Counter(name)})
 	}
-	for _, name := range o.histOrder {
-		h := o.hists[name]
+	for _, name := range histOrder {
+		h := o.Histogram(name)
+		if h == nil {
+			continue
+		}
 		buckets := make(map[string]int64)
 		for i, n := range h.Buckets {
 			if n > 0 {
@@ -381,11 +579,32 @@ func (o *Observer) Flush() {
 		}
 		o.emit(&Event{Kind: "hist", Name: name, Count: h.Count, Sum: h.Sum, Max: h.Max, Buckets: buckets})
 	}
+	o.mu.RLock()
+	var cov *Event
 	if o.cov.universe > 0 {
-		o.emit(&Event{Kind: "coverage", Fired: o.cov.firedMap(), States: o.cov.stateMap()})
+		cov = &Event{Kind: "coverage", Fired: o.cov.firedMap(), States: o.cov.stateMap()}
 	}
+	var sim *Event
 	if o.sim.Steps > 0 {
-		o.emit(&Event{Kind: "simprofile", Value: o.sim.Steps,
-			Opcodes: o.sim.Opcodes, Modes: o.sim.Modes, Funcs: o.sim.FuncSteps})
+		sim = &Event{Kind: "simprofile", Value: o.sim.Steps,
+			Opcodes: copyMap(o.sim.Opcodes), Modes: copyMap(o.sim.Modes), Funcs: copyMap(o.sim.FuncSteps)}
 	}
+	o.mu.RUnlock()
+	if cov != nil {
+		o.emit(cov)
+	}
+	if sim != nil {
+		o.emit(sim)
+	}
+}
+
+func copyMap(m map[string]int64) map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }

@@ -19,22 +19,21 @@ func (o *Observer) WriteReport(w io.Writer) {
 	o.writeCounters(w)
 	o.writeHists(w)
 	o.WriteCoverage(w)
-	if o.sim.Steps > 0 {
+	if sim := o.Sim(); sim.Steps > 0 {
 		fmt.Fprintf(w, "\nsimulator profile\n")
-		WriteSimProfile(w, o.sim)
+		WriteSimProfile(w, sim)
 	}
 }
 
 func (o *Observer) writePhases(w io.Writer) {
-	if len(o.phaseOrder) == 0 {
+	phases := o.Phases()
+	if len(phases) == 0 {
 		return
 	}
 	fmt.Fprintf(w, "phase spans (aggregated by path)\n")
-	paths := append([]string(nil), o.phaseOrder...)
-	sort.Strings(paths) // lexicographic order groups children under parents
-	for _, path := range paths {
-		ps := o.phases[path]
-		line := fmt.Sprintf("  %-40s %6dx  %12v", path, ps.Count, time.Duration(ps.Ns))
+	sort.Slice(phases, func(i, j int) bool { return phases[i].Path < phases[j].Path }) // lexicographic order groups children under parents
+	for _, ps := range phases {
+		line := fmt.Sprintf("  %-40s %6dx  %12v", ps.Path, ps.Count, time.Duration(ps.Ns))
 		if ps.Bytes != 0 {
 			line += fmt.Sprintf("  %10d B", ps.Bytes)
 		}
@@ -43,26 +42,33 @@ func (o *Observer) writePhases(w io.Writer) {
 }
 
 func (o *Observer) writeCounters(w io.Writer) {
-	if len(o.counterOrder) == 0 {
+	o.mu.RLock()
+	names := append([]string(nil), o.counterOrder...)
+	o.mu.RUnlock()
+	if len(names) == 0 {
 		return
 	}
 	fmt.Fprintf(w, "\ncounters\n")
-	names := append([]string(nil), o.counterOrder...)
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(w, "  %-40s %12d\n", name, o.counters[name])
+		fmt.Fprintf(w, "  %-40s %12d\n", name, o.Counter(name))
 	}
 }
 
 func (o *Observer) writeHists(w io.Writer) {
-	if len(o.histOrder) == 0 {
+	o.mu.RLock()
+	names := append([]string(nil), o.histOrder...)
+	o.mu.RUnlock()
+	if len(names) == 0 {
 		return
 	}
 	fmt.Fprintf(w, "\nhistograms\n")
-	names := append([]string(nil), o.histOrder...)
 	sort.Strings(names)
 	for _, name := range names {
-		h := o.hists[name]
+		h := o.Histogram(name)
+		if h == nil {
+			continue
+		}
 		mean := float64(0)
 		if h.Count > 0 {
 			mean = float64(h.Sum) / float64(h.Count)
@@ -81,13 +87,13 @@ func (o *Observer) writeHists(w io.Writer) {
 // states, and the full never-fired production list (the dead weight of
 // the description, from this compilation's point of view).
 func (o *Observer) WriteCoverage(w io.Writer) {
-	if o == nil || o.cov.universe == 0 {
+	nProds, nStates := o.CoverageUniverse()
+	if nProds == 0 && nStates == 0 {
 		return
 	}
 	fired := o.ProdFireCounts()
 	delete(fired, 0) // the augmented rule is accepted, not reduced
 	states := o.StateVisitCounts()
-	nProds, nStates := o.CoverageUniverse()
 	never := o.NeverFired()
 
 	fmt.Fprintf(w, "\ntable coverage\n")

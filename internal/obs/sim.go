@@ -65,15 +65,24 @@ func (o *Observer) AddSim(p SimProfile) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
 	o.sim.Add(p)
+	o.mu.Unlock()
 }
 
-// Sim returns the accumulated simulator profile.
+// Sim returns a snapshot of the accumulated simulator profile.
 func (o *Observer) Sim() SimProfile {
 	if o == nil {
 		return SimProfile{}
 	}
-	return o.sim
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return SimProfile{
+		Steps:     o.sim.Steps,
+		Opcodes:   copyMap(o.sim.Opcodes),
+		Modes:     copyMap(o.sim.Modes),
+		FuncSteps: copyMap(o.sim.FuncSteps),
+	}
 }
 
 func sortedByCount(m map[string]int64) []string {

@@ -24,6 +24,7 @@ package transform
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ggcg/internal/ir"
 )
@@ -55,15 +56,21 @@ type Stats struct {
 	Reversed int // reverse operators introduced by phase 1c
 }
 
-var lastStats Stats
+// The aggregate counters are package-level because the experiments
+// aggregate across many Func calls; they are atomic because functions of
+// one unit may be transformed by concurrent workers.
+var (
+	totalSwapped  atomic.Int64
+	totalReversed atomic.Int64
+)
 
 // TakeStats returns and resets the counters accumulated since the previous
-// call. The counters are package-level because the experiments aggregate
-// across many Func calls.
+// call.
 func TakeStats() Stats {
-	s := lastStats
-	lastStats = Stats{}
-	return s
+	return Stats{
+		Swapped:  int(totalSwapped.Swap(0)),
+		Reversed: int(totalReversed.Swap(0)),
+	}
 }
 
 // Func transforms one function.
@@ -94,8 +101,8 @@ func Func(f *ir.Func, opt Options) (*ir.Func, error) {
 			return nil, fmt.Errorf("transform: %s: %v (tree %s)", f.Name, err, it.Tree)
 		}
 	}
-	lastStats.Swapped += c.stats.Swapped
-	lastStats.Reversed += c.stats.Reversed
+	totalSwapped.Add(int64(c.stats.Swapped))
+	totalReversed.Add(int64(c.stats.Reversed))
 	return out, nil
 }
 

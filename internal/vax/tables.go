@@ -10,9 +10,21 @@ import (
 	"ggcg/internal/tablegen"
 )
 
-// Grammar returns the type-replicated VAX machine description.
+var (
+	grammarOnce sync.Once
+	grammar     *cgram.Grammar
+	grammarErr  error
+)
+
+// Grammar returns the type-replicated VAX machine description, expanded
+// and parsed once per process. The grammar is immutable after parsing
+// (table construction only reads it), so the shared copy may be used from
+// any number of goroutines.
 func Grammar() (*cgram.Grammar, error) {
-	return GrammarFrom(GenericGrammar)
+	grammarOnce.Do(func() {
+		grammar, grammarErr = GrammarFrom(GenericGrammar)
+	})
+	return grammar, grammarErr
 }
 
 // GenericStats sizes the generic (pre-replication) description — the
@@ -49,7 +61,8 @@ var (
 
 // Tables returns the constructed instruction-selection tables for the VAX
 // description, building them once per process (the static half of the
-// system, §3).
+// system, §3). The tables are immutable after construction and shared
+// read-only by every concurrent compilation.
 func Tables() (*tablegen.Tables, error) {
 	tablesOnce.Do(func() {
 		g, err := Grammar()
