@@ -1,0 +1,80 @@
+// Benchgate enforces a benchmark ratio ceiling in CI: it reads the JSON
+// document cmd/benchjson produces, takes the best (minimum) ns/op of a
+// numerator and a denominator benchmark across their -count repetitions,
+// and fails when numerator/denominator exceeds the ceiling.
+//
+// CI uses it to hold the table-driven generator's E2 gap against the
+// hand-written baseline:
+//
+//	go run ./cmd/benchgate -num BenchmarkE2_GG -den BenchmarkE2_PCC -max 2.65 < BENCH_ci.json
+//
+// The ceiling is the pre-comb-vector ratio recorded in EXPERIMENTS.md, so
+// a regression that reopens the gap fails the build.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ggcg/internal/benchfmt"
+)
+
+func main() {
+	var (
+		num = flag.String("num", "BenchmarkE2_GG", "numerator benchmark name")
+		den = flag.String("den", "BenchmarkE2_PCC", "denominator benchmark name")
+		max = flag.Float64("max", 2.65, "maximum allowed ns/op ratio")
+	)
+	flag.Parse()
+
+	var set benchfmt.Set
+	if err := json.NewDecoder(os.Stdin).Decode(&set); err != nil {
+		fatal(fmt.Errorf("decoding stdin: %v", err))
+	}
+
+	a, err := bestNsOp(&set, *num)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := bestNsOp(&set, *den)
+	if err != nil {
+		fatal(err)
+	}
+	ratio := a / b
+	fmt.Printf("benchgate: %s %.0f ns/op / %s %.0f ns/op = %.3f (ceiling %.3f)\n",
+		*num, a, *den, b, ratio, *max)
+	if ratio > *max {
+		fatal(fmt.Errorf("ratio %.3f exceeds ceiling %.3f", ratio, *max))
+	}
+}
+
+// bestNsOp returns the minimum ns/op across every result with the given
+// name — the conventional best-of-count reading, least sensitive to CI
+// scheduling noise.
+func bestNsOp(set *benchfmt.Set, name string) (float64, error) {
+	best := 0.0
+	found := false
+	for _, r := range set.Results {
+		if r.Name != name {
+			continue
+		}
+		v, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if !found || v < best {
+			best, found = v, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("no ns/op result named %s in input", name)
+	}
+	return best, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -77,8 +77,10 @@ func main() {
 	fmt.Printf("replicated: %4d productions  %4d terminals  %4d nonterminals  %4d chain rules\n",
 		fs.Productions, fs.Terminals, fs.Nonterminals, fs.ChainRules)
 	sz := t.Size()
-	fmt.Printf("tables:     %4d states  %5d action entries  %5d goto entries  %7d bytes\n",
-		t.Stats.States, sz.ActionEntries, sz.GotoEntries, sz.Bytes)
+	fmt.Printf("tables:     %4d states  %5d action entries  %5d goto entries\n",
+		t.Stats.States, sz.ActionEntries, sz.GotoEntries)
+	fmt.Printf("encoding:   %7d bytes dense  %7d bytes packed  (%.1fx compression)\n",
+		sz.Bytes, sz.PackedBytes, float64(sz.Bytes)/float64(sz.PackedBytes))
 	fmt.Printf("conflicts:  %d disambiguated  (%d dynamic choices, %d semantic blocks)\n",
 		len(t.Conflicts), len(t.Choices), len(t.SemBlocks))
 	for _, sb := range t.SemBlocks {
@@ -112,7 +114,28 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("tables written to %s\n", *encode)
+		// Round-trip what was just written: the wire format ships only the
+		// packed comb vectors, so this proves the file decodes back to the
+		// exact tables (version check, packed consistency validation, dense
+		// reconstruction) before anything downstream trusts it.
+		rf, err := os.Open(*encode)
+		if err != nil {
+			fatal(err)
+		}
+		t2, err := tablegen.Decode(rf)
+		rf.Close()
+		if err != nil {
+			fatal(fmt.Errorf("round-trip of %s failed: %v", *encode, err))
+		}
+		if t2.Stats.States != t.Stats.States || len(t2.Terms) != len(t.Terms) {
+			fatal(fmt.Errorf("round-trip of %s changed the tables", *encode))
+		}
+		fi, err := os.Stat(*encode)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tables written to %s (%d bytes on disk, version %d, round-trip verified)\n",
+			*encode, fi.Size(), tablegen.EncodingVersion)
 	}
 }
 

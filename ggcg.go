@@ -252,6 +252,12 @@ type GrammarInfo struct {
 	States             int
 	Conflicts          int // disambiguated shift/reduce and reduce/reduce conflicts
 	ChainRules         int
+
+	// Measured table encoding sizes: the dense ACTION/GOTO matrices the
+	// constructor builds, and the packed comb-vector form the matcher's
+	// hot loop drives (see DESIGN.md, "Table encoding").
+	TableBytes       int
+	PackedTableBytes int
 }
 
 // Info returns grammar and table statistics for the VAX description. The
@@ -268,6 +274,7 @@ func Info() (GrammarInfo, error) {
 		return GrammarInfo{}, err
 	}
 	fs := t.Grammar.Stats()
+	sz := t.Size()
 	return GrammarInfo{
 		GenericProductions: gen.Productions,
 		Productions:        fs.Productions,
@@ -276,6 +283,8 @@ func Info() (GrammarInfo, error) {
 		States:             t.Stats.States,
 		Conflicts:          len(t.Conflicts),
 		ChainRules:         fs.ChainRules,
+		TableBytes:         sz.Bytes,
+		PackedTableBytes:   sz.PackedBytes,
 	}, nil
 }
 

@@ -131,6 +131,13 @@ func TestInfo(t *testing.T) {
 	if info.ChainRules == 0 {
 		t.Error("no chain rules reported; the conversion sub-grammar is missing")
 	}
+	if info.TableBytes <= 0 || info.PackedTableBytes <= 0 {
+		t.Errorf("table sizes not measured: %+v", info)
+	}
+	if info.PackedTableBytes >= info.TableBytes {
+		t.Errorf("packed tables (%d bytes) not smaller than dense (%d bytes)",
+			info.PackedTableBytes, info.TableBytes)
+	}
 }
 
 func TestBuildTablesBothWaysAgree(t *testing.T) {

@@ -28,6 +28,13 @@ type Prod struct {
 	RHS    []string
 	Action string
 	Pred   string
+
+	// LHSID is the left hand side's index in the grammar's sorted
+	// nonterminal vocabulary, cached by New so the matcher's reduce path
+	// resolves its goto without a map lookup. The table constructor
+	// numbers nonterminals by the same sorted vocabulary (the augmented
+	// start symbol gets the last id), so the two numberings agree.
+	LHSID int32
 }
 
 // IsChain reports whether the production is a nonterminal chain rule
@@ -113,6 +120,13 @@ func New(start string, prods []*Prod) (*Grammar, error) {
 	g.Prods = prods
 	sort.Strings(g.terms)
 	sort.Strings(g.nonterms)
+	ntID := make(map[string]int32, len(g.nonterms))
+	for i, nt := range g.nonterms {
+		ntID[nt] = int32(i)
+	}
+	for _, p := range prods {
+		p.LHSID = ntID[p.LHS]
+	}
 	return g, nil
 }
 

@@ -40,6 +40,11 @@ type Options struct {
 	// — the alternative organization §6.1 of the paper discusses.
 	Peephole bool
 
+	// DenseTables drives the matcher's dense-table reference loop instead
+	// of the packed comb-vector hot loop. Output is byte-identical either
+	// way; the corpus golden guard compiles with both and compares.
+	DenseTables bool
+
 	// Obs, if non-nil, receives phase spans, counters/histograms and
 	// table coverage for the whole compilation (see internal/obs).
 	Obs *obs.Observer
@@ -93,7 +98,8 @@ func Compile(u *ir.Unit, opt Options) (*Result, error) {
 		return fmt.Sprintf("#%d", i)
 	})
 	sp := o.Start("codegen")
-	out := vax.NewEmitter()
+	out := getEmitter()
+	defer emitterPool.Put(out)
 	vax.EmitGlobals(out, u.Globals)
 	res := &Result{}
 	// Parallelism is skipped whenever any per-action trace consumer is
@@ -165,6 +171,23 @@ func CountPeep(o *obs.Observer, pst peep.Stats) {
 	o.Count("peep.lines_removed", int64(pst.LinesRemoved))
 }
 
+// matcherPool recycles matchers — and with them the parse stacks and the
+// linearization token buffer — across functions and compilations, so the
+// per-function matcher setup allocates nothing in steady state. Reset
+// re-targets a pooled matcher to whatever tables the compilation uses.
+var matcherPool = sync.Pool{New: func() any { return &matcher.Matcher{} }}
+
+// emitterPool recycles the per-function body emitters (and, in the
+// parallel path, the per-function output emitters) so their buffers are
+// grown once and reused across functions and compilations.
+var emitterPool = sync.Pool{New: func() any { return vax.NewEmitter() }}
+
+func getEmitter() *vax.Emitter {
+	e := emitterPool.Get().(*vax.Emitter)
+	e.Reset()
+	return e
+}
+
 // compileFunc generates one function, numbering its labels from labelBase
 // so labels are unique across the output file; it returns the next base.
 func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, stats *Stats, labelBase int) (int, error) {
@@ -221,15 +244,19 @@ func maxLabelOf(tf *ir.Func) int {
 // (including spill temporaries) is only known afterwards.
 func generateFunc(out *vax.Emitter, t *tablegen.Tables, name string, tf *ir.Func, opt Options, stats *Stats, labelBase int) error {
 	o := opt.Obs
-	body := vax.NewEmitter()
+	body := getEmitter()
+	defer emitterPool.Put(body)
 	gen := vax.NewGen(body, tf)
 	gen.LabelBase = labelBase
 	var sem matcher.Semantics = gen
 	if opt.WrapSem != nil {
 		sem = opt.WrapSem(gen)
 	}
-	m := matcher.New(t, sem)
+	m := matcherPool.Get().(*matcher.Matcher)
+	defer matcherPool.Put(m)
+	m.Reset(t, sem)
 	m.Obs = o
+	m.Dense = opt.DenseTables
 	// Fan every matcher action out to both the direct callback and the
 	// observer's trace stream (listing sink + JSONL), from the same event.
 	switch {
@@ -261,7 +288,7 @@ func generateFunc(out *vax.Emitter, t *tablegen.Tables, name string, tf *ir.Func
 		if o.Enabled() {
 			o.Observe("codegen.tree_depth", int64(treeDepth(it.Tree)))
 		}
-		if _, err := m.Match(ir.Linearize(it.Tree)); err != nil {
+		if _, err := m.MatchTree(it.Tree); err != nil {
 			return fmt.Errorf("codegen: %s: %v", name, err)
 		}
 		if err := gen.RM.CheckStatementEnd(); err != nil {
@@ -351,9 +378,16 @@ func compileFuncsParallel(out *vax.Emitter, t *tablegen.Tables, u *ir.Unit, opt 
 
 	// Phases 2–4, each function into its own emitter.
 	pool(func(i int, wopt Options) {
-		fouts[i] = vax.NewEmitter()
+		fouts[i] = getEmitter()
 		errs[i] = generateFunc(fouts[i], t, u.Funcs[i].Name, tfs[i], wopt, &stats[i], bases[i])
 	})
+	defer func() {
+		for _, fe := range fouts {
+			if fe != nil {
+				emitterPool.Put(fe)
+			}
+		}
+	}()
 	for i, err := range errs {
 		if err != nil {
 			return err // lowest function index, as the sequential path reports
@@ -387,6 +421,9 @@ func addMatcherStats(a, b matcher.Stats) matcher.Stats {
 	a.Shifts += b.Shifts
 	a.Reduces += b.Reduces
 	a.Trees += b.Trees
+	if b.MaxDepth > a.MaxDepth {
+		a.MaxDepth = b.MaxDepth
+	}
 	return a
 }
 

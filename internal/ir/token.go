@@ -6,6 +6,33 @@ package ir
 type Token struct {
 	Term string
 	N    *Node
+
+	// id caches the interned terminal id, biased by one so the zero value
+	// means "not interned" (terminal id 0 is valid). Tokens produced by
+	// AppendLinearize are stamped; the matcher stamps stragglers on first
+	// lookup so repeated matches over one token slice touch no maps.
+	id int32
+}
+
+// SetTermID stamps the token with its interned terminal id.
+func (t *Token) SetTermID(id int) { t.id = int32(id) + 1 }
+
+// TermID reports the interned terminal id, if the token has been stamped.
+func (t *Token) TermID() (int, bool) {
+	if t.id == 0 {
+		return 0, false
+	}
+	return int(t.id) - 1, true
+}
+
+// TermName returns the terminal symbol name, deriving it from the source
+// node when the token was produced without the string (AppendLinearize
+// skips it on the hot path).
+func (t *Token) TermName() string {
+	if t.Term == "" && t.N != nil {
+		return TermOf(t.N)
+	}
+	return t.Term
 }
 
 // Special-constant terminal names (§6.3). The constants 0, 1, 2, 4 and 8
@@ -102,6 +129,112 @@ func Linearize(n *Node) []Token {
 	return toks
 }
 
+// notSpecial marks a small constant value that has no special-constant
+// terminal of its own (3, 5, 6, 7), as opposed to a special value whose
+// terminal is missing from the vocabulary at hand (-1).
+const notSpecial = -2
+
+// TermInterner maps nodes straight to interned terminal ids of one
+// terminal vocabulary, mirroring TermOf through precomputed arrays so the
+// linearization of the code generator's inner loop touches no maps and
+// builds no strings. Ids are indices into the vocabulary it was built
+// from; -1 means the node's terminal is not in that vocabulary.
+type TermInterner struct {
+	op      [opMax][nTypes]int32
+	konst   [nTypes]int32
+	cvt     [nTypes][nTypes]int32
+	special [9]int32 // indexed by constant value; notSpecial if none
+	label   int32
+	cbranch int32
+	jump    int32
+}
+
+// NewTermInterner builds an interner for a terminal vocabulary, given in
+// id order (the table constructor's Tables.Terms).
+func NewTermInterner(terms []string) *TermInterner {
+	byName := make(map[string]int32, len(terms))
+	for i, s := range terms {
+		byName[s] = int32(i)
+	}
+	idOf := func(name string) int32 {
+		if id, ok := byName[name]; ok {
+			return id
+		}
+		return -1
+	}
+	ti := &TermInterner{}
+	for op := Op(0); op < opMax; op++ {
+		for ty := 0; ty < nTypes; ty++ {
+			ti.op[op][ty] = idOf(opTermNames[op][ty])
+		}
+	}
+	for ty := 0; ty < nTypes; ty++ {
+		ti.konst[ty] = idOf(constTermNames[ty])
+		for to := 0; to < nTypes; to++ {
+			ti.cvt[ty][to] = idOf(cvtTermNames[ty][to])
+		}
+	}
+	for i := range ti.special {
+		ti.special[i] = notSpecial
+	}
+	for v, name := range specialConst {
+		ti.special[v] = idOf(name)
+	}
+	ti.label = idOf("Label")
+	ti.cbranch = idOf("CBranch")
+	ti.jump = idOf("Jump")
+	return ti
+}
+
+// NodeID returns the interned terminal id of a node, or -1 if the node's
+// terminal is not in the interner's vocabulary. It is TermOf composed with
+// the vocabulary lookup, without forming the name.
+func (ti *TermInterner) NodeID(n *Node) int32 {
+	switch n.Op {
+	case Const:
+		if uint64(n.Val) < uint64(len(ti.special)) {
+			if id := ti.special[n.Val]; id != notSpecial {
+				return id
+			}
+		}
+		return ti.konst[n.Type]
+	case FConst:
+		return ti.konst[n.Type]
+	case Lab:
+		return ti.label
+	case CBranch:
+		return ti.cbranch
+	case Jump:
+		return ti.jump
+	case Conv:
+		return ti.cvt[n.Kids[0].Type][n.Type]
+	}
+	return ti.op[n.Op][n.Type]
+}
+
+// AppendLinearize appends the prefix linearization of the tree to dst,
+// stamping each token with its interned terminal id (tokens whose terminal
+// is outside the interner's vocabulary are left unstamped, so the matcher
+// reports them with its usual diagnostics). The Term string is left empty
+// — Token.TermName derives it on demand — which keeps the hot loop free
+// of per-token string writes; callers who need the strings use Linearize.
+func AppendLinearize(dst []Token, n *Node, ti *TermInterner) []Token {
+	dst = appendTree(dst, n, ti)
+	return dst
+}
+
+func appendTree(dst []Token, n *Node, ti *TermInterner) []Token {
+	tok := Token{N: n}
+	if id := ti.NodeID(n); id >= 0 {
+		tok.id = id + 1
+	}
+	dst = append(dst, tok)
+	for _, k := range n.Kids {
+		dst = appendTree(dst, k, ti)
+	}
+	return dst
+}
+
 // TermArity returns the number of operand subtrees following a terminal in
 // the prefix linearization, i.e. the arity of the operator it names. It
 // reports false for names that are not terminals of this intermediate
@@ -165,11 +298,11 @@ func indexByte(s string, b byte) int {
 // tests and diagnostics.
 func TermString(toks []Token) string {
 	s := ""
-	for i, t := range toks {
+	for i := range toks {
 		if i > 0 {
 			s += " "
 		}
-		s += t.Term
+		s += toks[i].TermName()
 	}
 	return s
 }

@@ -10,10 +10,17 @@
 // associated with the left hand side nonterminal (§5.2); all communication
 // from the tree transformers to the semantic phase flows through these
 // attributes.
+//
+// The parse loop drives the comb-vector (packed) form of the tables: one
+// interned terminal id per token, actions decoded from single int32 codes,
+// reduce gotos resolved through ids cached on the productions — no map
+// lookups anywhere on the hot path. The dense form is kept as a reference
+// matcher (Dense flag) so differential tests can hold the two together.
 package matcher
 
 import (
 	"fmt"
+	"sync"
 
 	"ggcg/internal/cgram"
 	"ggcg/internal/ir"
@@ -84,12 +91,20 @@ type Stats struct {
 	Shifts  int
 	Reduces int
 	Trees   int
+
+	// MaxDepth is the deepest parse stack seen across all trees, counting
+	// growth on both the shift and the reduce (goto push) paths. It is
+	// tracked unconditionally — an attached observer additionally gets a
+	// per-tree depth histogram.
+	MaxDepth int
 }
 
 // Matcher drives the constructed tables over linearized expression trees.
 type Matcher struct {
-	tables *tablegen.Tables
-	sem    Semantics
+	tables   *tablegen.Tables
+	packed   *tablegen.Packed
+	interner *ir.TermInterner
+	sem      Semantics
 
 	// Trace, if non-nil, receives every parser action.
 	Trace func(TraceEvent)
@@ -99,16 +114,52 @@ type Matcher struct {
 	// are guarded by nil checks so a disabled observer costs one branch.
 	Obs *obs.Observer
 
+	// Dense selects the dense-table reference loop instead of the packed
+	// hot loop. The two produce identical actions in identical order —
+	// the corpus golden guard compiles with both and compares bytes.
+	Dense bool
+
 	stats Stats
 
-	// Reused parse stacks; a Matcher is not safe for concurrent use.
+	// Reused parse stacks and linearization buffer; a Matcher is not safe
+	// for concurrent use.
 	states []int32
 	vals   []Value
+	toks   []ir.Token
+}
+
+// interners caches one TermInterner per (immutable) table set, so creating
+// a Matcher per function does not rebuild the op/type arrays every time.
+var interners sync.Map // *tablegen.Tables -> *ir.TermInterner
+
+func internerFor(t *tablegen.Tables) *ir.TermInterner {
+	if v, ok := interners.Load(t); ok {
+		return v.(*ir.TermInterner)
+	}
+	v, _ := interners.LoadOrStore(t, ir.NewTermInterner(t.Terms))
+	return v.(*ir.TermInterner)
 }
 
 // New returns a matcher for the given tables and semantics.
 func New(t *tablegen.Tables, sem Semantics) *Matcher {
-	return &Matcher{tables: t, sem: sem}
+	return &Matcher{tables: t, packed: t.Packed(), interner: internerFor(t), sem: sem}
+}
+
+// Reset re-targets the matcher to new tables and semantics and clears its
+// observation hooks and counters, keeping the grown stacks and token
+// buffer. The code generator pools matchers across functions so the
+// per-function parse costs no allocation in steady state.
+func (m *Matcher) Reset(t *tablegen.Tables, sem Semantics) {
+	if m.tables != t {
+		m.tables = t
+		m.packed = t.Packed()
+		m.interner = internerFor(t)
+	}
+	m.sem = sem
+	m.Trace = nil
+	m.Obs = nil
+	m.Dense = false
+	m.stats = Stats{}
 }
 
 // Stats returns accumulated parser work counters.
@@ -130,9 +181,162 @@ func (e *BlockError) Error() string {
 		e.State, e.Pos, e.Term, e.Tree)
 }
 
+// blockErr builds a BlockError entirely off the hot path: the loop passes
+// the live stack and position only when an error action has already been
+// taken, so no per-Match closure or tree rendering rides along with
+// successful parses.
+func (m *Matcher) blockErr(toks []ir.Token, states []int32, pos int, term string) error {
+	return &BlockError{
+		State: int(states[len(states)-1]),
+		Term:  term,
+		Pos:   pos,
+		Tree:  ir.TermString(toks),
+	}
+}
+
+// fail stores the (possibly regrown) stacks back for reuse and returns the
+// error; it is the single cold exit of both parse loops.
+func (m *Matcher) fail(states []int32, vals []Value, err error) (Value, error) {
+	m.states, m.vals = states[:0], vals[:0]
+	return Value{}, err
+}
+
+// MatchTree linearizes one expression tree into the matcher's reused token
+// buffer — each token stamped with its interned terminal id — and parses
+// it. This is the code generator's per-tree entry point: one pass, no
+// per-tree allocation, no map lookups.
+func (m *Matcher) MatchTree(n *ir.Node) (Value, error) {
+	m.toks = ir.AppendLinearize(m.toks[:0], n, m.interner)
+	return m.Match(m.toks)
+}
+
 // Match parses one linearized tree, invoking semantic actions on each
 // reduction, and returns the attribute of the accepted sentential symbol.
+// Unstamped tokens are interned on first sight (stamped in place), so a
+// caller-provided token slice pays the vocabulary map at most once.
 func (m *Matcher) Match(toks []ir.Token) (Value, error) {
+	if m.Dense {
+		return m.matchDense(toks)
+	}
+	t, p := m.tables, m.packed
+	prods := t.Grammar.Prods
+	if cap(m.states) == 0 {
+		m.states = make([]int32, 0, 64)
+		m.vals = make([]Value, 0, 64)
+	}
+	states := append(m.states[:0], 0)
+	vals := append(m.vals[:0], Value{})
+	m.stats.Trees++
+	if m.Obs != nil {
+		m.Obs.StateVisited(0)
+	}
+
+	pos := 0
+	maxDepth := 1
+	for {
+		var termID int32
+		var tok *ir.Token
+		if pos < len(toks) {
+			tok = &toks[pos]
+			if id, ok := tok.TermID(); ok {
+				termID = int32(id)
+			} else if id, ok := t.TermID(tok.TermName()); ok {
+				tok.SetTermID(id)
+				termID = int32(id)
+			} else {
+				return m.fail(states, vals,
+					m.blockErr(toks, states, pos, tok.TermName()+" (not in machine description)"))
+			}
+		} else if pos == len(toks) {
+			termID = p.NumTerms
+		} else {
+			return m.fail(states, vals, fmt.Errorf("matcher: ran past end of input"))
+		}
+
+		code := p.LookupCode(states[len(states)-1], termID)
+		kind := tablegen.ActionKind(code & 7)
+		arg := code >> 3
+		switch kind {
+		case tablegen.ActShift:
+			states = append(states, arg)
+			vals = append(vals, Value{Tok: tok})
+			if len(states) > maxDepth {
+				maxDepth = len(states)
+			}
+			m.stats.Shifts++
+			if m.Obs != nil {
+				m.Obs.StateVisited(int(arg))
+			}
+			if m.Trace != nil {
+				m.Trace(TraceEvent{Kind: TraceShift, Term: tok.TermName()})
+			}
+			pos++
+
+		case tablegen.ActReduce, tablegen.ActChoice:
+			var prod *cgram.Prod
+			if kind == tablegen.ActReduce {
+				prod = prods[arg-1]
+			} else {
+				var err error
+				prod, err = m.choose(p.Choices[arg], vals)
+				if err != nil {
+					return m.fail(states, vals, err)
+				}
+			}
+			n := len(prod.RHS)
+			args := vals[len(vals)-n:]
+			sem, err := m.sem.Reduce(prod, args)
+			if err != nil {
+				return m.fail(states, vals, fmt.Errorf("matcher: action %q of production %d: %w",
+					prod.Action, prod.Index, err))
+			}
+			states = states[:len(states)-n]
+			vals = vals[:len(vals)-n]
+			to := p.GotoState(states[len(states)-1], int32(prod.LHSID))
+			if to < 0 {
+				return m.fail(states, vals, m.blockErr(toks, states, pos, "goto "+prod.LHS))
+			}
+			states = append(states, to)
+			vals = append(vals, Value{Sem: sem})
+			if len(states) > maxDepth {
+				maxDepth = len(states)
+			}
+			m.stats.Reduces++
+			if m.Obs != nil {
+				m.Obs.ProdReduced(prod.Index)
+				m.Obs.StateVisited(int(to))
+			}
+			if m.Trace != nil {
+				m.Trace(TraceEvent{Kind: TraceReduce, Prod: prod})
+			}
+
+		case tablegen.ActAccept:
+			if maxDepth > m.stats.MaxDepth {
+				m.stats.MaxDepth = maxDepth
+			}
+			if m.Obs != nil {
+				m.Obs.Observe("matcher.stack_depth", int64(maxDepth))
+			}
+			if m.Trace != nil {
+				m.Trace(TraceEvent{Kind: TraceAccept})
+			}
+			res := vals[len(vals)-1]
+			m.states, m.vals = states[:0], vals[:0]
+			return res, nil
+
+		default:
+			term := "$end"
+			if tok != nil {
+				term = tok.TermName()
+			}
+			return m.fail(states, vals, m.blockErr(toks, states, pos, term))
+		}
+	}
+}
+
+// matchDense is the reference parse loop over the dense ACTION/GOTO
+// matrices, kept action-for-action equivalent to the packed loop.
+func (m *Matcher) matchDense(toks []ir.Token) (Value, error) {
 	t := m.tables
 	if cap(m.states) == 0 {
 		m.states = make([]int32, 0, 64)
@@ -140,35 +344,31 @@ func (m *Matcher) Match(toks []ir.Token) (Value, error) {
 	}
 	states := append(m.states[:0], 0)
 	vals := append(m.vals[:0], Value{})
-	defer func() {
-		m.states, m.vals = states[:0], vals[:0]
-	}()
 	m.stats.Trees++
 	if m.Obs != nil {
 		m.Obs.StateVisited(0)
-	}
-
-	blockErr := func(pos int, term string) error {
-		tree := ir.TermString(toks)
-		return &BlockError{State: int(states[len(states)-1]), Term: term, Pos: pos, Tree: tree}
 	}
 
 	pos := 0
 	maxDepth := 1
 	for {
 		var termID int
-		var termName string
 		var tok *ir.Token
 		if pos < len(toks) {
-			id, ok := t.TermID(toks[pos].Term)
-			if !ok {
-				return Value{}, blockErr(pos, toks[pos].Term+" (not in machine description)")
+			tok = &toks[pos]
+			if id, ok := tok.TermID(); ok {
+				termID = id
+			} else if id, ok := t.TermID(tok.TermName()); ok {
+				tok.SetTermID(id)
+				termID = id
+			} else {
+				return m.fail(states, vals,
+					m.blockErr(toks, states, pos, tok.TermName()+" (not in machine description)"))
 			}
-			termID, termName, tok = id, toks[pos].Term, &toks[pos]
 		} else if pos == len(toks) {
-			termID, termName = t.End(), "$end"
+			termID = t.End()
 		} else {
-			return Value{}, fmt.Errorf("matcher: ran past end of input")
+			return m.fail(states, vals, fmt.Errorf("matcher: ran past end of input"))
 		}
 
 		act := t.Lookup(int(states[len(states)-1]), termID)
@@ -176,15 +376,15 @@ func (m *Matcher) Match(toks []ir.Token) (Value, error) {
 		case tablegen.ActShift:
 			states = append(states, act.Arg)
 			vals = append(vals, Value{Tok: tok})
+			if len(states) > maxDepth {
+				maxDepth = len(states)
+			}
 			m.stats.Shifts++
 			if m.Obs != nil {
 				m.Obs.StateVisited(int(act.Arg))
-				if len(states) > maxDepth {
-					maxDepth = len(states)
-				}
 			}
 			if m.Trace != nil {
-				m.Trace(TraceEvent{Kind: TraceShift, Term: termName})
+				m.Trace(TraceEvent{Kind: TraceShift, Term: tok.TermName()})
 			}
 			pos++
 
@@ -196,25 +396,27 @@ func (m *Matcher) Match(toks []ir.Token) (Value, error) {
 				var err error
 				prod, err = m.choose(t.ChoiceProds(act), vals)
 				if err != nil {
-					return Value{}, err
+					return m.fail(states, vals, err)
 				}
 			}
 			n := len(prod.RHS)
 			args := vals[len(vals)-n:]
 			sem, err := m.sem.Reduce(prod, args)
 			if err != nil {
-				return Value{}, fmt.Errorf("matcher: action %q of production %d: %w",
-					prod.Action, prod.Index, err)
+				return m.fail(states, vals, fmt.Errorf("matcher: action %q of production %d: %w",
+					prod.Action, prod.Index, err))
 			}
 			states = states[:len(states)-n]
 			vals = vals[:len(vals)-n]
-			lhs, _ := t.NontermID(prod.LHS)
-			to := t.GotoState(int(states[len(states)-1]), lhs)
+			to := t.GotoState(int(states[len(states)-1]), int(prod.LHSID))
 			if to < 0 {
-				return Value{}, blockErr(pos, "goto "+prod.LHS)
+				return m.fail(states, vals, m.blockErr(toks, states, pos, "goto "+prod.LHS))
 			}
 			states = append(states, int32(to))
 			vals = append(vals, Value{Sem: sem})
+			if len(states) > maxDepth {
+				maxDepth = len(states)
+			}
 			m.stats.Reduces++
 			if m.Obs != nil {
 				m.Obs.ProdReduced(prod.Index)
@@ -225,16 +427,25 @@ func (m *Matcher) Match(toks []ir.Token) (Value, error) {
 			}
 
 		case tablegen.ActAccept:
+			if maxDepth > m.stats.MaxDepth {
+				m.stats.MaxDepth = maxDepth
+			}
 			if m.Obs != nil {
 				m.Obs.Observe("matcher.stack_depth", int64(maxDepth))
 			}
 			if m.Trace != nil {
 				m.Trace(TraceEvent{Kind: TraceAccept})
 			}
-			return vals[len(vals)-1], nil
+			res := vals[len(vals)-1]
+			m.states, m.vals = states[:0], vals[:0]
+			return res, nil
 
 		default:
-			return Value{}, blockErr(pos, termName)
+			term := "$end"
+			if tok != nil {
+				term = tok.TermName()
+			}
+			return m.fail(states, vals, m.blockErr(toks, states, pos, term))
 		}
 	}
 }

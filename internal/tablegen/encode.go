@@ -8,15 +8,23 @@ import (
 	"ggcg/internal/cgram"
 )
 
+// EncodingVersion identifies the wire format Encode writes. Version 2
+// ships the comb-vector (packed) form of the tables; the dense form is
+// reconstructed from it at Decode time, which is cheap and — because the
+// packed form is exactly lookup-equivalent — lossless. Version 1 (the
+// unversioned dense gob of earlier revisions) is rejected with a clear
+// error so stale table files fail fast instead of mis-decoding.
+const EncodingVersion = 2
+
 // wireTables is the serialized form of Tables. The grammar travels as its
 // textual rendering so the two sides agree on production indices and symbol
-// numbering, which are derived deterministically from the text.
+// numbering, which are derived deterministically from the text; the tables
+// travel in comb-vector form.
 type wireTables struct {
+	Version     int
 	GrammarText string
 	Start       string
-	Action      [][]Action
-	Goto        [][]int32
-	Choices     [][]int32
+	Packed      Packed
 	Conflicts   []Conflict
 	SemBlocks   []SemBlock
 	Stats       BuildStats
@@ -24,14 +32,14 @@ type wireTables struct {
 
 // Encode writes the tables in a binary form Decode can read, so that the
 // static table-construction step can be run once per target machine and
-// its output shipped with the code generator (§3).
+// its output shipped with the code generator (§3). The packed form is what
+// goes on the wire.
 func (t *Tables) Encode(w io.Writer) error {
 	wt := wireTables{
+		Version:     EncodingVersion,
 		GrammarText: t.Grammar.String(),
 		Start:       t.Grammar.Start,
-		Action:      t.Action,
-		Goto:        t.Goto,
-		Choices:     t.Choices,
+		Packed:      *t.packed,
 		Conflicts:   t.Conflicts,
 		SemBlocks:   t.SemBlocks,
 		Stats:       t.Stats,
@@ -39,28 +47,33 @@ func (t *Tables) Encode(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&wt)
 }
 
-// Decode reads tables written by Encode.
+// Decode reads tables written by Encode, rebuilding the dense matrices
+// from the packed form.
 func Decode(r io.Reader) (*Tables, error) {
 	var wt wireTables
 	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
 		return nil, fmt.Errorf("tablegen: decode: %v", err)
 	}
+	if wt.Version != EncodingVersion {
+		return nil, fmt.Errorf("tablegen: decode: encoded tables are version %d, need version %d; re-encode with ggtables -encode",
+			wt.Version, EncodingVersion)
+	}
 	g, err := cgram.Parse(wt.GrammarText)
 	if err != nil {
 		return nil, fmt.Errorf("tablegen: decode grammar: %v", err)
 	}
+	p := &wt.Packed
 	t := &Tables{
 		Grammar:   g,
 		Terms:     g.Terminals(),
 		Nonterms:  append(append([]string{}, g.Nonterminals()...), g.Start+"'"),
-		Action:    wt.Action,
-		Goto:      wt.Goto,
-		Choices:   wt.Choices,
+		Choices:   p.Choices,
 		Conflicts: wt.Conflicts,
 		SemBlocks: wt.SemBlocks,
 		Stats:     wt.Stats,
 		termID:    make(map[string]int),
 		ntID:      make(map[string]int),
+		packed:    p,
 	}
 	for i, s := range t.Terms {
 		t.termID[s] = i
@@ -68,9 +81,38 @@ func Decode(r io.Reader) (*Tables, error) {
 	for i, s := range t.Nonterms {
 		t.ntID[s] = i
 	}
-	if len(t.Action) > 0 && len(t.Action[0]) != len(t.Terms)+1 {
+	if int(p.NumTerms) != len(t.Terms) {
 		return nil, fmt.Errorf("tablegen: decode: table width %d does not match %d terminals",
-			len(t.Action[0]), len(t.Terms))
+			p.NumTerms, len(t.Terms))
+	}
+	if int(p.NumNonterms) != len(t.Nonterms) {
+		return nil, fmt.Errorf("tablegen: decode: %d goto columns do not match %d nonterminals",
+			p.NumNonterms, len(t.Nonterms))
+	}
+	if len(p.ProdLHS) != len(g.Prods)+1 {
+		return nil, fmt.Errorf("tablegen: decode: %d productions do not match grammar's %d",
+			len(p.ProdLHS)-1, len(g.Prods))
+	}
+	if len(p.Base) != int(p.NumStates) || len(p.Default) != int(p.NumStates) ||
+		len(p.GBase) != int(p.NumNonterms) || len(p.GDefault) != int(p.NumNonterms) ||
+		len(p.Next) != len(p.Check) || len(p.GNext) != len(p.GCheck) {
+		return nil, fmt.Errorf("tablegen: decode: packed array sizes are inconsistent")
+	}
+	// Rebuild the dense matrices by exhaustive packed lookup; exact
+	// equivalence of the two forms makes this a lossless inverse of Pack.
+	t.Action = make([][]Action, p.NumStates)
+	t.Goto = make([][]int32, p.NumStates)
+	for s := int32(0); s < p.NumStates; s++ {
+		arow := make([]Action, p.NumTerms+1)
+		for term := int32(0); term <= p.NumTerms; term++ {
+			arow[term] = UnpackAction(p.LookupCode(s, term))
+		}
+		grow := make([]int32, p.NumNonterms)
+		for nt := int32(0); nt < p.NumNonterms; nt++ {
+			grow[nt] = p.GotoState(s, nt)
+		}
+		t.Action[s] = arow
+		t.Goto[s] = grow
 	}
 	return t, nil
 }

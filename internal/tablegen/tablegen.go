@@ -20,6 +20,7 @@ package tablegen
 
 import (
 	"fmt"
+	"unsafe"
 
 	"ggcg/internal/cgram"
 )
@@ -112,7 +113,15 @@ type Tables struct {
 
 	termID map[string]int
 	ntID   map[string]int
+
+	// packed is the comb-vector form, built once by Build/Decode and
+	// immutable afterwards; the matcher's hot loop drives it.
+	packed *Packed
 }
+
+// Packed returns the comb-vector form of the tables, lookup-equivalent to
+// the dense form for every (state, symbol) pair.
+func (t *Tables) Packed() *Packed { return t.packed }
 
 // End returns the terminal id of the end-of-tree marker.
 func (t *Tables) End() int { return len(t.Terms) }
@@ -144,16 +153,22 @@ func (t *Tables) ChoiceProds(a Action) []int32 {
 	return t.Choices[a.Arg]
 }
 
-// Size reports table size measures used by the E4 experiment: the count of
-// useful entries and an estimate of the encoded byte size.
+// Size reports table size measures used by the E4 experiment and the §3.2
+// report: the count of useful entries and the measured byte sizes of both
+// encodings (not the historical ActionEntries*5+GotoEntries*4 estimate,
+// which drifted from what either representation actually stores).
 type Size struct {
 	States        int
-	ActionEntries int
-	GotoEntries   int
-	Bytes         int
+	ActionEntries int // non-error ACTION entries
+	GotoEntries   int // non-empty GOTO entries
+	Bytes         int // measured bytes of the dense matrices
+	PackedBytes   int // measured bytes of the comb-vector arrays
 }
 
-// Size returns the table size.
+// Size returns the table size. Bytes counts the dense representation as
+// resident: the full states x (terminals+1) Action matrix at the in-memory
+// entry size, the full states x nonterminals int32 GOTO matrix, and the
+// choice lists. PackedBytes counts every int32 of the packed arrays.
 func (t *Tables) Size() Size {
 	s := Size{States: len(t.Action)}
 	for _, row := range t.Action {
@@ -170,9 +185,14 @@ func (t *Tables) Size() Size {
 			}
 		}
 	}
-	s.Bytes = s.ActionEntries*5 + s.GotoEntries*4
+	nTerms := len(t.Terms) + 1 // including the end marker column
+	s.Bytes = len(t.Action)*nTerms*int(unsafe.Sizeof(Action{})) +
+		len(t.Goto)*len(t.Nonterms)*4
 	for _, c := range t.Choices {
 		s.Bytes += 4 * len(c)
+	}
+	if t.packed != nil {
+		s.PackedBytes = t.packed.Bytes()
 	}
 	return s
 }
@@ -199,5 +219,6 @@ func Build(g *cgram.Grammar, opt Options) (*Tables, error) {
 	}
 	b.buildStates()
 	b.fillTables()
+	b.tables.packed = b.tables.Pack()
 	return b.tables, nil
 }

@@ -3,7 +3,7 @@ package vax
 import (
 	"fmt"
 	"math"
-	"strings"
+	"strconv"
 
 	"ggcg/internal/ir"
 )
@@ -20,8 +20,13 @@ func floatBits(t ir.Type, v float64) uint64 {
 // little state the instruction generator needs about what was last
 // emitted: which register the previous instruction set, so the
 // condition-code branch patterns can verify their assumption (§6.1).
+//
+// The buffer is a plain byte slice so an emitter can be Reset and pooled:
+// the code generator builds every function body in its own emitter (the
+// frame size is only known afterwards), and recycling those buffers keeps
+// the per-function output path allocation-free in steady state.
 type Emitter struct {
-	buf   strings.Builder
+	buf   []byte
 	lines int
 
 	lastResultReg int // register the last emitted instruction targeted, or -1
@@ -38,15 +43,29 @@ func NewEmitter() *Emitter {
 	return &Emitter{lastResultReg: -1}
 }
 
-// Emit appends one instruction.
+// Reset empties the emitter, keeping its grown buffer for reuse.
+func (e *Emitter) Reset() {
+	e.buf = e.buf[:0]
+	e.lines = 0
+	e.lastResultReg = -1
+	e.TstBackstops = 0
+}
+
+// Emit appends one instruction. Operands are written straight into the
+// output buffer — phase 4 runs once per instruction, so the formatting
+// path builds no intermediate joined strings.
 func (e *Emitter) Emit(mn string, ops ...string) {
-	e.buf.WriteByte('\t')
-	e.buf.WriteString(mn)
-	if len(ops) > 0 {
-		e.buf.WriteByte('\t')
-		e.buf.WriteString(strings.Join(ops, ","))
+	e.buf = append(e.buf, '\t')
+	e.buf = append(e.buf, mn...)
+	for i, op := range ops {
+		if i == 0 {
+			e.buf = append(e.buf, '\t')
+		} else {
+			e.buf = append(e.buf, ',')
+		}
+		e.buf = append(e.buf, op...)
 	}
-	e.buf.WriteByte('\n')
+	e.buf = append(e.buf, '\n')
 	e.lines++
 	e.lastResultReg = -1
 }
@@ -55,9 +74,20 @@ func (e *Emitter) Emit(mn string, ops ...string) {
 // operand; when that destination is a register the condition codes
 // describe it afterwards.
 func (e *Emitter) EmitResult(mn string, dst *Operand, ops ...string) {
-	e.Emit(mn, append(ops, dst.Asm())...)
+	e.buf = append(e.buf, '\t')
+	e.buf = append(e.buf, mn...)
+	e.buf = append(e.buf, '\t')
+	for _, op := range ops {
+		e.buf = append(e.buf, op...)
+		e.buf = append(e.buf, ',')
+	}
+	e.buf = append(e.buf, dst.Asm()...)
+	e.buf = append(e.buf, '\n')
+	e.lines++
 	if dst.Mode == OReg {
 		e.lastResultReg = dst.Reg
+	} else {
+		e.lastResultReg = -1
 	}
 }
 
@@ -67,14 +97,16 @@ func (e *Emitter) LastSet(r int) bool { return e.lastResultReg == r }
 
 // Label defines a local label.
 func (e *Emitter) Label(id int) {
-	fmt.Fprintf(&e.buf, "L%d:\n", id)
+	e.buf = append(e.buf, 'L')
+	e.buf = strconv.AppendInt(e.buf, int64(id), 10)
+	e.buf = append(e.buf, ':', '\n')
 	e.lastResultReg = -1
 }
 
 // Raw appends a raw line (directives, function headers).
 func (e *Emitter) Raw(line string) {
-	e.buf.WriteString(line)
-	e.buf.WriteByte('\n')
+	e.buf = append(e.buf, line...)
+	e.buf = append(e.buf, '\n')
 	e.lastResultReg = -1
 }
 
@@ -84,14 +116,14 @@ func (e *Emitter) Lines() int { return e.lines }
 // Append merges another emitter's output (used to stitch a function body,
 // generated separately so the final frame size is known, after its header).
 func (e *Emitter) Append(body *Emitter) {
-	e.buf.WriteString(body.buf.String())
+	e.buf = append(e.buf, body.buf...)
 	e.lines += body.lines
 	e.TstBackstops += body.TstBackstops
 	e.lastResultReg = -1
 }
 
 // String returns the accumulated assembly text.
-func (e *Emitter) String() string { return e.buf.String() }
+func (e *Emitter) String() string { return string(e.buf) }
 
 // EmitGlobals writes the data directives for a unit's globals.
 func EmitGlobals(e *Emitter, globals []ir.Global) {
@@ -105,7 +137,7 @@ func EmitGlobals(e *Emitter, globals []ir.Global) {
 			size = g.Type.Size()
 		}
 		if !g.HasInit {
-			fmt.Fprintf(&e.buf, ".comm _%s,%d\n", g.Name, size)
+			e.buf = fmt.Appendf(e.buf, ".comm _%s,%d\n", g.Name, size)
 			continue
 		}
 		e.Raw(".align 2")
@@ -113,19 +145,19 @@ func EmitGlobals(e *Emitter, globals []ir.Global) {
 		if g.Type.IsFloat() {
 			bits := floatBits(g.Type, g.FInit)
 			if g.Type == ir.Float {
-				fmt.Fprintf(&e.buf, "\t.long %d\n", int64(int32(bits)))
+				e.buf = fmt.Appendf(e.buf, "\t.long %d\n", int64(int32(bits)))
 			} else {
-				fmt.Fprintf(&e.buf, "\t.long %d,%d\n", int64(int32(bits)), int64(int32(bits>>32)))
+				e.buf = fmt.Appendf(e.buf, "\t.long %d,%d\n", int64(int32(bits)), int64(int32(bits>>32)))
 			}
 			continue
 		}
 		switch g.Type.Size() {
 		case 1:
-			fmt.Fprintf(&e.buf, "\t.byte %d\n", int8(g.Init))
+			e.buf = fmt.Appendf(e.buf, "\t.byte %d\n", int8(g.Init))
 		case 2:
-			fmt.Fprintf(&e.buf, "\t.byte %d,%d\n", int8(g.Init), int8(g.Init>>8))
+			e.buf = fmt.Appendf(e.buf, "\t.byte %d,%d\n", int8(g.Init), int8(g.Init>>8))
 		default:
-			fmt.Fprintf(&e.buf, "\t.long %d\n", int64(int32(g.Init)))
+			e.buf = fmt.Appendf(e.buf, "\t.long %d\n", int64(int32(g.Init)))
 		}
 	}
 	e.Raw(".text")
