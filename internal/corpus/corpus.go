@@ -331,6 +331,72 @@ int main() {
 	switch (v + 1) { case 2: r += 100; }
 	return r;
 }`},
+		// Conditional-value chains and mixed truth-value arithmetic, the
+		// shapes §5.1.3's reverse operators and the transform's
+		// short-circuit lowering must agree on.
+		{Name: "ternarychain", Want: 30, Src: `
+int grade(int x) { return x < 10 ? 1 : x < 20 ? 2 : x < 30 ? 3 : 4; }
+int main() { return grade(5) + grade(15) * 2 + grade(25) * 3 + grade(99) * 4; }`},
+		{Name: "condvalue", Want: 211, Src: `
+int main() {
+	int a = 3, b = 0;
+	int r1, r2, r3;
+	r1 = (a > 2) + (b == 0);
+	r2 = (a && b) | (a || b);
+	r3 = (a > b) * ((a != 3) || (b < 1));
+	return r1 * 100 + r2 * 10 + r3;
+}`},
+		{Name: "reverseops", Want: 7, Src: `
+int g;
+int arr[4];
+int main() {
+	int i = 1;
+	g = 2;
+	arr[i] = g + arr[i + 1] * (g + 3);
+	arr[0] -= arr[i] - (g * 4 - 1);
+	return arr[0] + arr[i];
+}`},
+		{Name: "narrowrassign", Want: 43, Src: `
+char cbuf[8];
+short sbuf[8];
+int arr[16];
+int c0;
+int main() {
+	arr[12] = 3;
+	c0 = 5;
+	cbuf[6] = 2;
+	sbuf[3] = 77;
+	sbuf[(arr[12]) & 7] &= (c0 + cbuf[6]);
+	cbuf[2] = (sbuf[3] | 32) + 1;
+	return sbuf[3] + cbuf[2];
+}`},
+		// Reproducers of bugs the differential fuzzer found, pinned here so
+		// the plain test suite covers them: a store destination indexed by
+		// a register the unsigned-modulus call claims; a frame-slot spill
+		// emitted inside one conditional arm but read at the join; and a
+		// register bank exhausted entirely by indexed operands.
+		{Name: "idxstoreurem", Want: 14, Src: `
+int arr[8];
+unsigned int u;
+int main() {
+	int i = 3;
+	u = 13;
+	arr[(i + 1) & 7] = 20 - (u % 7);
+	return arr[4];
+}`},
+		{Name: "condspill", Want: 33022, Args: []int64{3}, Src: `
+unsigned int u0;
+int main(int p) { u0 = 9; return (0 ? u0 / 3 : 32765) + (256 | (p % 2)); }`},
+		{Name: "idxexhaust", Want: 8, Src: `
+char c1;
+short sbuf[8];
+int arr[16];
+int main() {
+	c1 = 9;
+	sbuf[5] = 44;
+	arr[(0 != 0) & 15] |= (sbuf[5] % ((c1 & 15) | 1));
+	return arr[0];
+}`},
 	}
 }
 

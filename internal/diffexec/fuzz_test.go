@@ -1,0 +1,19 @@
+package diffexec
+
+import "testing"
+
+// FuzzDiffExec feeds fuzzer-chosen seeds through the full differential
+// harness: generate, compile along every path, cross-check every oracle
+// pair, shrink on mismatch. A crasher's message carries the seed and the
+// reduced source; reproduce with `go test -run FuzzDiffExec/<id>` or
+// `ggfuzz -seed N -n 1`.
+func FuzzDiffExec(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 3, 17, 42, -7, 1 << 33} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckSeed(seed, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

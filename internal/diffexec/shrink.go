@@ -1,0 +1,201 @@
+package diffexec
+
+import (
+	"regexp"
+
+	"ggcg/internal/progen"
+)
+
+// shrinkBudget bounds the number of candidate evaluations one Shrink run
+// may spend. Each evaluation re-runs the full oracle lattice, so this is
+// the knob that keeps shrinking a mismatch cheap relative to finding it.
+const shrinkBudget = 2000
+
+// Shrink reduces p to a (locally) minimal program for which fails still
+// holds, by reduction to a fixed point: drop whole functions, then
+// statements and declarations, then replace value atoms inside surviving
+// expressions with 0, then simplify return expressions. A candidate that
+// no longer compiles simply fails the predicate and is rejected, so no
+// validity bookkeeping is needed. The result always satisfies fails
+// (Shrink never returns a candidate it hasn't checked, except p itself
+// when nothing could be removed).
+func Shrink(p *progen.Prog, fails func(src string) bool) *progen.Prog {
+	s := &shrinker{fails: fails, budget: shrinkBudget}
+	cur := p
+	for {
+		next, changed := s.pass(cur)
+		if !changed || s.budget <= 0 {
+			return next
+		}
+		cur = next
+	}
+}
+
+type shrinker struct {
+	fails  func(src string) bool
+	budget int
+}
+
+// try evaluates one candidate against the predicate, respecting the budget.
+func (s *shrinker) try(c *progen.Prog) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	return s.fails(c.Render())
+}
+
+// pass runs every reduction family once, keeping each candidate that still
+// fails, and reports whether anything changed.
+func (s *shrinker) pass(p *progen.Prog) (*progen.Prog, bool) {
+	changed := false
+	accept := func(c *progen.Prog) bool {
+		if s.try(c) {
+			p, changed = c, true
+			return true
+		}
+		return false
+	}
+
+	// Whole functions, last to first: main is appended last by progen and
+	// later functions call earlier ones, so the reverse order removes the
+	// leaves of the call DAG first.
+	for i := len(p.Funcs) - 1; i >= 0; i-- {
+		c := p.Clone()
+		c.Funcs = append(c.Funcs[:i], c.Funcs[i+1:]...)
+		accept(c)
+	}
+
+	// Statements, then declarations, within each surviving function.
+	for fi := range p.Funcs {
+		for si := len(p.Funcs[fi].Stmts) - 1; si >= 0; si-- {
+			c := p.Clone()
+			f := c.Funcs[fi]
+			f.Stmts = append(f.Stmts[:si], f.Stmts[si+1:]...)
+			accept(c)
+		}
+		for di := len(p.Funcs[fi].Decls) - 1; di >= 0; di-- {
+			c := p.Clone()
+			f := c.Funcs[fi]
+			f.Decls = append(f.Decls[:di], f.Decls[di+1:]...)
+			accept(c)
+		}
+	}
+
+	// Value atoms: replace each identifier (with any index suffix) that
+	// survives deletion with 0, severing references so the declarations
+	// they pin become deletable on the next family below.
+	for fi := range p.Funcs {
+		for si := 0; si < len(p.Funcs[fi].Stmts); si++ {
+			s.atoms(&p, &changed, func(c *progen.Prog) *string { return &c.Funcs[fi].Stmts[si] })
+		}
+	}
+
+	// Return expressions: the whole expression to 0, a single identifier
+	// of the expression (subterm selection), or any one atom to 0.
+	for fi := range p.Funcs {
+		ret := p.Funcs[fi].Ret
+		if ret != "0" {
+			c := p.Clone()
+			c.Funcs[fi].Ret = "0"
+			if accept(c) {
+				continue
+			}
+		}
+		for _, id := range identRe.FindAllString(ret, -1) {
+			if keywords[id] || id == ret {
+				continue
+			}
+			c := p.Clone()
+			c.Funcs[fi].Ret = id
+			if accept(c) {
+				break
+			}
+		}
+		s.atoms(&p, &changed, func(c *progen.Prog) *string { return &c.Funcs[fi].Ret })
+	}
+
+	// Global declaration lines (progen emits one declaration per line
+	// precisely so these are independently deletable).
+	for gi := len(p.Globals) - 1; gi >= 0; gi-- {
+		c := p.Clone()
+		c.Globals = append(c.Globals[:gi], c.Globals[gi+1:]...)
+		accept(c)
+	}
+
+	return p, changed
+}
+
+// atoms zeroes value atoms in one string field of the program, rescanning
+// after every accepted replacement: an edit shifts the offsets of every
+// later span, and an accepted outer atom (`arr[i & 7]`) swallows its inner
+// ones (`i`), so spans from a stale scan must never be applied. pos skips
+// the already-attempted prefix, which an edit at or after pos cannot have
+// changed.
+func (s *shrinker) atoms(p **progen.Prog, changed *bool, field func(*progen.Prog) *string) {
+	pos := 0
+	for {
+		cur := *field(*p)
+		again := false
+		for _, sp := range atomSpans(cur) {
+			if sp[0] < pos {
+				continue
+			}
+			c := (*p).Clone()
+			*field(c) = cur[:sp[0]] + "0" + cur[sp[1]:]
+			pos = sp[0] + 1
+			if s.try(c) {
+				*p, *changed, again = c, true, true
+				break
+			}
+		}
+		if !again {
+			return
+		}
+	}
+}
+
+var identRe = regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*`)
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "short": true, "unsigned": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+}
+
+// atomSpans finds the replaceable value atoms of a statement or
+// expression: identifier occurrences extended over a balanced index
+// suffix (`arr[i & 7]` is one atom). Call names and keywords are skipped;
+// anything else that turns out not to be replaceable (a declaration name,
+// an assignment target) just yields a candidate the front end rejects.
+func atomSpans(s string) [][2]int {
+	var spans [][2]int
+	for _, loc := range identRe.FindAllStringIndex(s, -1) {
+		if keywords[s[loc[0]:loc[1]]] {
+			continue
+		}
+		end := loc[1]
+		for end < len(s) && s[end] == '[' {
+			depth, j := 0, end
+			for ; j < len(s); j++ {
+				if s[j] == '[' {
+					depth++
+				} else if s[j] == ']' {
+					depth--
+					if depth == 0 {
+						j++
+						break
+					}
+				}
+			}
+			if depth != 0 {
+				break
+			}
+			end = j
+		}
+		if end < len(s) && s[end] == '(' {
+			continue
+		}
+		spans = append(spans, [2]int{loc[0], end})
+	}
+	return spans
+}

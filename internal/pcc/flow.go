@@ -90,6 +90,13 @@ func (g *gen) frameTemp(t ir.Type) *vax.Operand {
 }
 
 func (g *gen) boolExpr(n *ir.Node) (*vax.Operand, error) {
+	// The arms below (and short-circuit condition legs) execute
+	// conditionally; a spill emitted inside one — e.g. by an embedded
+	// call — would redirect a live descriptor to a slot only that path
+	// writes. Park everything in memory before forking control flow.
+	if err := g.rm.SpillLive(); err != nil {
+		return nil, err
+	}
 	dst := g.frameTemp(ir.Long)
 	lt, ld := g.newLabel(), g.newLabel()
 	if err := g.branchTrue(n, lt); err != nil {
@@ -104,6 +111,11 @@ func (g *gen) boolExpr(n *ir.Node) (*vax.Operand, error) {
 }
 
 func (g *gen) selectExpr(n *ir.Node) (*vax.Operand, error) {
+	// As in boolExpr: no registers may be live across the fork, since a
+	// spill inside one arm reaches the join unwritten on the other.
+	if err := g.rm.SpillLive(); err != nil {
+		return nil, err
+	}
 	t := n.Type
 	dst := g.frameTemp(t)
 	le, ld := g.newLabel(), g.newLabel()

@@ -17,6 +17,9 @@
 //   - autoincrement/autodecrement introduction: an operation through (rN)
 //     followed by stepping rN by the operand size becomes (rN)+, and a
 //     pre-step becomes -(rN)
+//   - range idioms: adding or subtracting the constant 1 becomes the
+//     increment/decrement form, moving the constant 0 becomes a clear,
+//     and an increment-compare-branch loop bottom becomes aoblss/aobleq
 //   - unreferenced labels are dropped
 package peep
 
@@ -35,6 +38,9 @@ type Stats struct {
 	InvertedOver   int
 	AutoInc        int
 	AutoDec        int
+	IncDec         int // add/sub of $1 or $-1 to inc/dec
+	ClrZero        int // mov of $0 to clr
+	AOBLoops       int // inc-compare-branch to aoblss/aobleq
 	DeadLabels     int
 	LinesRemoved   int
 }
@@ -142,6 +148,8 @@ func Optimize(src string) (string, Stats) {
 		changed = removeRedundantMoves(lines, &st) || changed
 		changed = removeRedundantTst(lines, &st) || changed
 		changed = introduceAutoStep(lines, &st) || changed
+		changed = rangeIdioms(lines, &st) || changed
+		changed = introduceAOB(lines, &st) || changed
 		changed = dropDeadLabels(lines, &st) || changed
 		lines = compact(lines)
 		if !changed {
@@ -176,7 +184,8 @@ func compact(lines []*line) []*line {
 func isBranch(mn string) bool {
 	switch mn {
 	case "jbr", "jeql", "jneq", "jlss", "jleq", "jgtr", "jgeq",
-		"jlssu", "jlequ", "jgtru", "jgequ", "calls", "ret":
+		"jlssu", "jlequ", "jgtru", "jgequ", "aoblss", "aobleq",
+		"calls", "ret":
 		return true
 	}
 	return false
@@ -351,7 +360,7 @@ func invertBranchOverJump(lines []*line, st *Stats) bool {
 // destination whose value the condition codes describe afterwards.
 func writesResult(mn string) bool {
 	switch {
-	case strings.HasPrefix(mn, "mov") && mn != "moval",
+	case strings.HasPrefix(mn, "mov") && !strings.HasPrefix(mn, "mova"),
 		strings.HasPrefix(mn, "cvt"),
 		strings.HasPrefix(mn, "add"), strings.HasPrefix(mn, "sub"),
 		strings.HasPrefix(mn, "mul"), strings.HasPrefix(mn, "div"),
@@ -395,7 +404,7 @@ func opSize(mn string) int {
 func removeRedundantMoves(lines []*line, st *Stats) bool {
 	changed := false
 	for i, l := range lines {
-		if l == nil || l.kind != lInstr || !strings.HasPrefix(l.mn, "mov") || l.mn == "moval" || strings.HasPrefix(l.mn, "movz") {
+		if l == nil || l.kind != lInstr || !strings.HasPrefix(l.mn, "mov") || strings.HasPrefix(l.mn, "mova") || strings.HasPrefix(l.mn, "movz") {
 			continue
 		}
 		if len(l.ops) == 2 && l.ops[0] == l.ops[1] && !hasSideEffect(l.ops[0]) {
@@ -545,6 +554,128 @@ func soleRegDefUse(l *line, reg string) (int, bool) {
 	return idx, true
 }
 
+// rangeIdioms rewrites the immediate-constant special cases into their
+// dedicated VAX forms — the range idioms the instruction generation phase
+// recognizes on trees (§5.3.3), recovered here on the instruction stream so
+// the baseline generator's output benefits as well:
+//
+//	addX2 $1,dst  / subX2 $-1,dst   =>   incX dst
+//	subX2 $1,dst  / addX2 $-1,dst   =>   decX dst
+//	movX  $0,dst                    =>   clrX dst
+//
+// It runs after autoincrement introduction in the pass so a byte-sized
+// `addl2 $1,rN` step is claimed as (rN)+ before it can become `incl rN`.
+func rangeIdioms(lines []*line, st *Stats) bool {
+	changed := false
+	for _, l := range lines {
+		if l == nil || l.kind != lInstr || len(l.ops) != 2 || !strings.HasPrefix(l.ops[0], "$") {
+			continue
+		}
+		n, err := strconv.Atoi(l.ops[0][1:])
+		if err != nil {
+			continue
+		}
+		var mn string
+		switch {
+		case l.mn == "movb" || l.mn == "movw" || l.mn == "movl":
+			if n != 0 {
+				continue
+			}
+			mn = "clr" + l.mn[3:]
+			st.ClrZero++
+		case len(l.mn) == 5 && l.mn[4] == '2' &&
+			(l.mn[:3] == "add" || l.mn[:3] == "sub") &&
+			(l.mn[3] == 'b' || l.mn[3] == 'w' || l.mn[3] == 'l'):
+			if n != 1 && n != -1 {
+				continue
+			}
+			op := "inc"
+			if (l.mn[:3] == "sub") == (n == 1) {
+				op = "dec"
+			}
+			mn = op + l.mn[3:4]
+			st.IncDec++
+		default:
+			continue
+		}
+		l.mn, l.ops = mn, l.ops[1:]
+		changed = true
+	}
+	return changed
+}
+
+// introduceAOB collapses the canonical loop bottom into the VAX
+// add-one-and-branch instructions:
+//
+//	incl rN ; cmpl rN,limit ; jlss L   =>   aoblss limit,rN,L
+//	incl rN ; cmpl rN,limit ; jleq L   =>   aobleq limit,rN,L
+//
+// The three instructions must be consecutive in one basic block, the limit
+// operand must not mention rN or carry a side effect, and the fall-through
+// successor must not read the condition codes — after the rewrite they
+// describe the incremented index, not the dropped compare.
+func introduceAOB(lines []*line, st *Stats) bool {
+	changed := false
+	for i, l := range lines {
+		if l == nil || l.kind != lInstr || l.mn != "incl" || len(l.ops) != 1 || !isRegName(l.ops[0]) {
+			continue
+		}
+		reg := l.ops[0]
+		j := nextInstrSameBlock(lines, i)
+		if j < 0 {
+			continue
+		}
+		c := lines[j]
+		if c.mn != "cmpl" || len(c.ops) != 2 || c.ops[0] != reg {
+			continue
+		}
+		limit := c.ops[1]
+		if strings.Contains(limit, reg) || hasSideEffect(limit) {
+			continue
+		}
+		k := nextInstrSameBlock(lines, j)
+		if k < 0 {
+			continue
+		}
+		b := lines[k]
+		var mn string
+		switch b.mn {
+		case "jlss":
+			mn = "aoblss"
+		case "jleq":
+			mn = "aobleq"
+		default:
+			continue
+		}
+		if len(b.ops) != 1 || condConsumerFollows(lines, k) {
+			continue
+		}
+		b.mn, b.ops = mn, []string{limit, reg, b.ops[0]}
+		lines[i], lines[j] = nil, nil
+		st.AOBLoops++
+		changed = true
+	}
+	return changed
+}
+
+// condConsumerFollows reports whether the instruction reached by falling
+// through from index k is a conditional branch, i.e. consumes the condition
+// codes set before k.
+func condConsumerFollows(lines []*line, k int) bool {
+	for j := k + 1; j < len(lines); j++ {
+		l := lines[j]
+		if l == nil || l.kind == lLabel {
+			continue
+		}
+		if l.kind != lInstr {
+			return false
+		}
+		_, cond := invert[l.mn]
+		return cond
+	}
+	return false
+}
+
 func dropDeadLabels(lines []*line, st *Stats) bool {
 	used := make(map[string]bool)
 	for _, l := range lines {
@@ -578,7 +709,8 @@ func dropDeadLabels(lines []*line, st *Stats) bool {
 // String summarizes the statistics.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"moves %d, tst %d, jumps-to-next %d, chains %d, inverted %d, autoinc %d, autodec %d, dead labels %d, %d lines removed",
+		"moves %d, tst %d, jumps-to-next %d, chains %d, inverted %d, autoinc %d, autodec %d, incdec %d, clr %d, aob %d, dead labels %d, %d lines removed",
 		s.RedundantMoves, s.RedundantTst, s.JumpsToNext, s.JumpChains,
-		s.InvertedOver, s.AutoInc, s.AutoDec, s.DeadLabels, s.LinesRemoved)
+		s.InvertedOver, s.AutoInc, s.AutoDec, s.IncDec, s.ClrZero,
+		s.AOBLoops, s.DeadLabels, s.LinesRemoved)
 }

@@ -1,0 +1,446 @@
+// Package progen is a seeded, deterministic random-program generator for
+// the C dialect the front end accepts. It is the input half of the
+// differential fuzzing subsystem (internal/diffexec is the oracle half):
+// every program it emits is well-defined under the repository's shared
+// 32-bit wrap-around semantics — divisors are forced nonzero, shift counts
+// are masked, loops are bounded by construction, and calls form a DAG — so
+// any disagreement between execution paths is a compiler bug, never an
+// accident of undefined behaviour.
+//
+// Unlike corpus.Random, which renders straight to text, progen keeps the
+// program structured: a Prog is global declaration lines plus functions,
+// and each function body is a list of independently removable statements
+// over locals declared up front. That granularity is what lets diffexec
+// shrink a failing program to a minimal reproducer by deleting statements,
+// declarations and whole functions while re-checking the oracle pair that
+// disagreed.
+//
+// The grammar coverage tracks the paper's problem areas: globals and
+// locals of all integer widths (char/short truncation on every store),
+// guarded division and modulus including negative operands, bit
+// operations and masked shifts, short-circuit `&&`/`||` and `?:` chains,
+// relational values used as integers, `if`/`while`/`for` control flow,
+// multi-argument calls, and the right-heavy operand shapes that force the
+// evaluation-order heuristic into reverse operators (§5.1.3).
+package progen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is the same small deterministic linear-congruential generator the
+// corpus package uses, so programs are reproducible from their seed alone.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+// Options bounds the generated program's shape. The zero value picks
+// seed-dependent defaults.
+type Options struct {
+	Funcs int // functions besides main (default 2..4, seed-dependent)
+	Stmts int // statements per function body (default 3..6, seed-dependent)
+	Depth int // maximum expression nesting depth (default 3)
+}
+
+// Fn is one generated function: parameters and locals are declared up
+// front, so every statement in Stmts can be deleted independently without
+// invalidating the rest of the body.
+type Fn struct {
+	Name   string
+	Params []string // parameter declarations, e.g. "int p0"
+	Decls  []string // local declaration lines, e.g. "int l0 = p0;"
+	Stmts  []string // self-contained statements or blocks, one per entry
+	Ret    string   // the return expression
+}
+
+// Prog is a generated program: global declaration lines plus functions,
+// main last.
+type Prog struct {
+	Globals []string
+	Funcs   []*Fn
+}
+
+// Clone deep-copies the program, so a shrinker can mutate candidates
+// without losing the original.
+func (p *Prog) Clone() *Prog {
+	q := &Prog{Globals: append([]string(nil), p.Globals...)}
+	for _, f := range p.Funcs {
+		q.Funcs = append(q.Funcs, &Fn{
+			Name:   f.Name,
+			Params: append([]string(nil), f.Params...),
+			Decls:  append([]string(nil), f.Decls...),
+			Stmts:  append([]string(nil), f.Stmts...),
+			Ret:    f.Ret,
+		})
+	}
+	return q
+}
+
+// Render formats the program as compilable source.
+func (p *Prog) Render() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		b.WriteString(g)
+		b.WriteByte('\n')
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "int %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+		for _, d := range f.Decls {
+			b.WriteString("\t")
+			b.WriteString(d)
+			b.WriteByte('\n')
+		}
+		for _, s := range f.Stmts {
+			b.WriteString(s)
+		}
+		fmt.Fprintf(&b, "\treturn %s;\n}\n", f.Ret)
+	}
+	return b.String()
+}
+
+// Lines counts the non-blank source lines Render produces — the size a
+// shrinker minimizes and the harness reports.
+func (p *Prog) Lines() int {
+	n := 0
+	for _, ln := range strings.Split(p.Render(), "\n") {
+		if strings.TrimSpace(ln) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// globalDecls is the fixed global environment every generated program
+// declares: integer variables of every width, unsigned variants, and
+// arrays of each width for indexed addressing. One declaration per line so
+// the shrinker can drop unreferenced ones individually.
+var globalDecls = []string{
+	"int g0, g1, g2;",
+	"unsigned int u0, u1;",
+	"char c0, c1;",
+	"short s0, s1;",
+	"int arr[16];",
+	"char cbuf[8];",
+	"short sbuf[8];",
+}
+
+// Generate builds a random program from the seed with default options.
+func Generate(seed int64) *Prog { return GenerateOpts(seed, Options{}) }
+
+// GenerateOpts builds a random program from the seed.
+func GenerateOpts(seed int64, opt Options) *Prog {
+	r := &rng{s: uint64(seed)*2654435761 + 0x9e3779b97f4a7c15}
+	r.next() // decorrelate small adjacent seeds
+	nfuncs := opt.Funcs
+	if nfuncs <= 0 {
+		nfuncs = 2 + r.intn(3)
+	}
+	p := &Prog{Globals: append([]string(nil), globalDecls...)}
+
+	// arities[i] is fi's parameter count; calls only reach lower-numbered
+	// functions, so the call graph is a DAG and termination is structural.
+	arities := make([]int, nfuncs)
+	for i := range arities {
+		arities[i] = 1 + r.intn(4)
+	}
+
+	for i := 0; i < nfuncs; i++ {
+		f := &Fn{Name: fmt.Sprintf("f%d", i)}
+		g := &gen{r: r, arities: arities[:i], depth: opt.Depth}
+		for a := 0; a < arities[i]; a++ {
+			f.Params = append(f.Params, fmt.Sprintf("int p%d", a))
+			g.ints = append(g.ints, fmt.Sprintf("p%d", a))
+		}
+		// Locals of every width, initialized from parameters or constants
+		// so no statement depends on an earlier one for definedness.
+		f.Decls = append(f.Decls,
+			fmt.Sprintf("int l0 = p0, l1 = %d;", r.intn(200)-100),
+			fmt.Sprintf("char lc = %d;", r.intn(256)-128),
+			fmt.Sprintf("short ls = %d;", r.intn(2000)-1000),
+			fmt.Sprintf("unsigned int lu = %d;", r.intn(1000)),
+		)
+		g.ints = append(g.ints, "l0", "l1")
+		g.narrow = append(g.narrow, "lc", "ls")
+		g.unsigneds = append(g.unsigneds, "lu")
+		nstmts := opt.Stmts
+		if nstmts <= 0 {
+			nstmts = 3 + r.intn(4)
+		}
+		for s := 0; s < nstmts; s++ {
+			f.Stmts = append(f.Stmts, g.stmt(1))
+		}
+		f.Ret = g.expr(g.maxDepth())
+		p.Funcs = append(p.Funcs, f)
+	}
+
+	// main: deterministic global initialization, a few random statements,
+	// one checksum-accumulating call per generated function, and a return
+	// expression that folds in every global so width truncation and stored
+	// state are all observable through main's result.
+	m := &Fn{Name: "main"}
+	g := &gen{r: r, arities: arities, depth: opt.Depth}
+	m.Decls = append(m.Decls,
+		"int t = 0;",
+		fmt.Sprintf("char lc = %d;", r.intn(256)-128),
+		fmt.Sprintf("short ls = %d;", r.intn(2000)-1000),
+		fmt.Sprintf("unsigned int lu = %d;", r.intn(1000)),
+	)
+	g.ints = append(g.ints, "t")
+	g.narrow = append(g.narrow, "lc", "ls")
+	g.unsigneds = append(g.unsigneds, "lu")
+	m.Stmts = append(m.Stmts,
+		fmt.Sprintf("\tg0 = %d; g1 = %d; g2 = %d;\n", r.intn(100)+1, r.intn(200)-100, -(r.intn(50)+1)),
+		fmt.Sprintf("\tu0 = %d; u1 = 0 - %d;\n", r.intn(1000), r.intn(7)+1),
+		fmt.Sprintf("\tc0 = %d; c1 = %d; s0 = %d; s1 = %d;\n", r.intn(400)-200, r.intn(100), r.intn(70000)-35000, r.intn(2000)),
+		fmt.Sprintf("\tarr[%d] = %d; arr[%d] = %d; cbuf[%d] = %d; sbuf[%d] = %d;\n",
+			r.intn(16), r.intn(90)+1, r.intn(16), r.intn(200)-100,
+			r.intn(8), r.intn(300), r.intn(8), r.intn(40000)-20000),
+	)
+	for s := 0; s < 3; s++ {
+		m.Stmts = append(m.Stmts, g.stmt(1))
+	}
+	for i := 0; i < nfuncs; i++ {
+		args := make([]string, arities[i])
+		for a := range args {
+			if a == 0 {
+				args[a] = fmt.Sprintf("t + %d", i+1)
+			} else {
+				args[a] = g.atom()
+			}
+		}
+		m.Stmts = append(m.Stmts, fmt.Sprintf("\tt = (t + f%d(%s)) %% 99991;\n", i, strings.Join(args, ", ")))
+	}
+	m.Ret = "(t + g0 + g1 * 3 + g2 + c0 + c1 * 5 + s0 + s1 + u0 % 1009 + u1 % 31 + arr[3] + arr[11] * 7 + cbuf[2] + sbuf[5]) % 1000003"
+	p.Funcs = append(p.Funcs, m)
+	return p
+}
+
+// gen generates statements and expressions for one function body.
+type gen struct {
+	r         *rng
+	arities   []int    // callable functions f0..f(len-1) and their arities
+	ints      []string // int-typed lvalues in scope (params, locals, t)
+	narrow    []string // char/short locals (store truncation)
+	unsigneds []string // unsigned locals
+	depth     int      // Options.Depth, 0 = default
+	blocks    int      // running count for unique loop-variable names
+}
+
+func (g *gen) maxDepth() int {
+	if g.depth > 0 {
+		return g.depth
+	}
+	return 3
+}
+
+// boundary integer constants: the values width truncation, range idioms
+// and condition codes care about.
+var boundaryConsts = []string{
+	"0", "1", "-1", "2", "-2", "127", "-128", "128", "255", "256",
+	"32767", "-32768", "65535", "4", "8", "100", "-100",
+}
+
+// lvalue picks an assignable location; narrow and unsigned targets
+// exercise store truncation and the unsigned operator selections.
+func (g *gen) lvalue() string {
+	switch g.r.intn(10) {
+	case 0, 1:
+		return "g" + fmt.Sprint(g.r.intn(3))
+	case 2:
+		return g.r.pick(g.narrow)
+	case 3:
+		return g.r.pick([]string{"c0", "c1", "s0", "s1"})
+	case 4:
+		return g.r.pick([]string{"u0", "u1"})
+	case 5:
+		return g.r.pick(g.unsigneds)
+	case 6:
+		return fmt.Sprintf("arr[(%s) & 15]", g.expr(1))
+	case 7:
+		return fmt.Sprintf("%s[(%s) & 7]", g.r.pick([]string{"cbuf", "sbuf"}), g.atom())
+	default:
+		return g.r.pick(g.ints)
+	}
+}
+
+// stmt produces one self-contained statement (or block) terminated by a
+// newline, indented one tab.
+func (g *gen) stmt(depth int) string {
+	switch g.r.intn(10) {
+	case 0, 1:
+		return fmt.Sprintf("\t%s = %s;\n", g.lvalue(), g.expr(g.maxDepth()))
+	case 2:
+		op := g.r.pick([]string{"+=", "-=", "*=", "^=", "|=", "&="})
+		return fmt.Sprintf("\t%s %s %s;\n", g.lvalue(), op, g.expr(1))
+	case 3:
+		if g.r.intn(2) == 0 {
+			return fmt.Sprintf("\t%s++;\n", g.lvalue())
+		}
+		return fmt.Sprintf("\t--%s;\n", g.r.pick(g.ints))
+	case 4:
+		if depth < 3 {
+			s := fmt.Sprintf("\tif (%s) {\n%s", g.cond(), g.stmt(depth+1))
+			if g.r.intn(2) == 0 {
+				s += fmt.Sprintf("\t} else {\n%s", g.stmt(depth+1))
+			}
+			return s + "\t}\n"
+		}
+		return fmt.Sprintf("\t%s = %s;\n", g.lvalue(), g.expr(1))
+	case 5:
+		if depth < 3 {
+			g.blocks++
+			v := fmt.Sprintf("i%d", g.blocks)
+			return fmt.Sprintf("\t{ int %s; for (%s = 0; %s < %d; %s++) {\n%s\t} }\n",
+				v, v, v, 2+g.r.intn(6), v, g.stmt(depth+1))
+		}
+		return fmt.Sprintf("\t%s = %s;\n", g.lvalue(), g.expr(2))
+	case 6:
+		if depth < 3 {
+			g.blocks++
+			v := fmt.Sprintf("w%d", g.blocks)
+			return fmt.Sprintf("\t{ int %s = 0; while (%s < %d) {\n%s\t%s++; } }\n",
+				v, v, 2+g.r.intn(5), g.stmt(depth+1), v)
+		}
+		return fmt.Sprintf("\t%s = %s;\n", g.lvalue(), g.expr(2))
+	case 7:
+		if len(g.arities) > 0 {
+			return fmt.Sprintf("\t%s = %s;\n", g.r.pick(g.ints), g.callExpr())
+		}
+		return fmt.Sprintf("\t%s = %s;\n", g.lvalue(), g.expr(2))
+	case 8:
+		// A ?: chain as a statement value.
+		return fmt.Sprintf("\t%s = %s ? %s : %s ? %s : %s;\n",
+			g.r.pick(g.ints), g.cond(), g.expr(1), g.cond(), g.expr(1), g.atom())
+	default:
+		return fmt.Sprintf("\t%s = %s;\n", g.r.pick(g.ints), g.expr(g.maxDepth()))
+	}
+}
+
+// cond produces a boolean-context expression: relationals, short-circuit
+// combinations, negation, and bare integer values.
+func (g *gen) cond() string {
+	rel := g.r.pick([]string{"<", "<=", ">", ">=", "==", "!="})
+	c := fmt.Sprintf("%s %s %s", g.expr(1), rel, g.expr(1))
+	switch g.r.intn(6) {
+	case 0:
+		return fmt.Sprintf("%s && %s %s %s", c, g.expr(1), g.r.pick([]string{"<", ">", "!="}), g.atom())
+	case 1:
+		return fmt.Sprintf("%s || %s", c, g.cond0())
+	case 2:
+		return "!(" + c + ")"
+	case 3:
+		return fmt.Sprintf("%s && %s", g.cond0(), c)
+	case 4:
+		return g.expr(1) // truthiness of an integer value
+	}
+	return c
+}
+
+// cond0 is a single relational, for nesting inside cond without recursion.
+func (g *gen) cond0() string {
+	return fmt.Sprintf("%s %s %s", g.atom(), g.r.pick([]string{"<", ">", "=="}), g.atom())
+}
+
+// expr produces an integer expression of bounded depth. Division and
+// modulus guard their divisors nonzero; shifts are masked into range.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.r.intn(16) {
+	case 0, 1:
+		return g.atom()
+	case 2:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		// Right-heavy subtraction: the deeper right operand is what the
+		// evaluation-order heuristic turns into a reverse operator (§5.1.3).
+		return fmt.Sprintf("(%s - (%s + %s))", g.atom(), g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 5:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.atom())
+	case 6:
+		// Guarded division; the divisor is odd, hence nonzero and not -1.
+		return fmt.Sprintf("(%s / ((%s & 7) | 1))", g.expr(depth-1), g.expr(depth-1))
+	case 7:
+		return fmt.Sprintf("(%s %% ((%s & 15) | 1))", g.expr(depth-1), g.expr(depth-1))
+	case 8:
+		// Constant divisors, including the negative and boundary ones the
+		// instruction table folds differently.
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), g.r.pick([]string{"/", "%"}),
+			g.r.pick([]string{"2", "3", "-3", "7", "16", "255", "-1"}))
+	case 9:
+		op := g.r.pick([]string{"&", "|", "^"})
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	case 10:
+		op := g.r.pick([]string{"<<", ">>"})
+		return fmt.Sprintf("(%s %s (%s & 7))", g.expr(depth-1), op, g.expr(depth-1))
+	case 11:
+		return fmt.Sprintf("(%s ? %s : %s)", g.cond(), g.expr(depth-1), g.expr(depth-1))
+	case 12:
+		// Relational value used as an integer.
+		rel := g.r.pick([]string{"<", ">", "==", "!=", "<=", ">="})
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), rel, g.expr(depth-1))
+	case 13:
+		// No calls here: a call appears only as the whole right side of an
+		// assignment statement. Phase 1 hoists calls out of expressions, so
+		// a call embedded in an expression that also reads globals the
+		// callee writes would make the program evaluation-order-sensitive —
+		// the reference interpreter (tree order) and the generated code
+		// (call first) would both be right and still disagree.
+		return fmt.Sprintf("(-(%s))", g.expr(depth-1))
+	case 14:
+		return fmt.Sprintf("(~(%s))", g.expr(depth-1))
+	default:
+		// Unsigned mixing: forces the unsigned operator replications.
+		return fmt.Sprintf("(%s + %s %% %d)", g.expr(depth-1), g.r.pick(append(g.unsigneds, "u0", "u1")), g.r.intn(97)+3)
+	}
+}
+
+// callExpr calls a lower-numbered function with full-arity arguments.
+func (g *gen) callExpr() string {
+	i := g.r.intn(len(g.arities))
+	args := make([]string, g.arities[i])
+	for a := range args {
+		if g.r.intn(3) == 0 {
+			args[a] = g.expr(1)
+		} else {
+			args[a] = g.atom()
+		}
+	}
+	return fmt.Sprintf("f%d(%s)", i, strings.Join(args, ", "))
+}
+
+func (g *gen) atom() string {
+	switch g.r.intn(12) {
+	case 0, 1:
+		return g.r.pick(boundaryConsts)
+	case 2:
+		return fmt.Sprint(g.r.intn(2000) - 1000)
+	case 3:
+		return "g" + fmt.Sprint(g.r.intn(3))
+	case 4:
+		return g.r.pick([]string{"c0", "c1", "s0", "s1"})
+	case 5:
+		return g.r.pick(g.narrow)
+	case 6:
+		return fmt.Sprintf("arr[%d]", g.r.intn(16))
+	case 7:
+		return fmt.Sprintf("%s[%d]", g.r.pick([]string{"cbuf", "sbuf"}), g.r.intn(8))
+	case 8:
+		return g.r.pick([]string{"u0", "u1"})
+	case 9:
+		return g.r.pick(g.unsigneds)
+	default:
+		return g.r.pick(g.ints)
+	}
+}

@@ -167,6 +167,24 @@ stmt -> Assign.b lval.b rval.w ; action=asgn.b
 stmt -> Assign.b lval.b rval.l ; action=asgn.b
 stmt -> Assign.w lval.w rval.l ; action=asgn.w
 
+# Narrowing reverse assignments: the §5.1.3 exchange can reorder a
+# narrowing store (compound assignment to a char/short location whose
+# right side is register-heavy), so the RAssign forms need the same
+# width cross product as the Assign forms above.
+stmt -> RAssign.b rval.w lval.b ; action=rasgn.b
+stmt -> RAssign.b rval.l lval.b ; action=rasgn.b
+stmt -> RAssign.w rval.l lval.w ; action=rasgn.w
+
+# Narrowing assignments as values: the result has the destination's
+# width; a wider context widens it back through the conversion chains,
+# which is exactly C's truncate-then-widen semantics.
+rval.b -> Assign.b lval.b rval.w ; action=asgnv.b
+rval.b -> Assign.b lval.b rval.l ; action=asgnv.b
+rval.w -> Assign.w lval.w rval.l ; action=asgnv.w
+rval.b -> RAssign.b rval.w lval.b ; action=rasgnv.b
+rval.b -> RAssign.b rval.l lval.b ; action=rasgnv.b
+rval.w -> RAssign.w rval.l lval.w ; action=rasgnv.w
+
 # Argument pushes and value-less statements.
 stmt -> Arg.l rval.l ; action=arg.l
 stmt -> Arg.d rval.d ; action=arg.d

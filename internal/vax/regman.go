@@ -109,7 +109,10 @@ func (rm *RegMan) findFree(n int) (int, bool) {
 // A register holding a value is stored and its descriptor redirected to
 // the frame slot. A register absorbed into an addressing mode as the base
 // is spilled by computing the address into the slot and turning the
-// operand into its deferred form (*off(fp)) — index registers stay.
+// operand into its deferred form (*off(fp)). A register serving as the
+// index is spilled by materializing the whole effective address with
+// movaX, whose own operand size scales the index, releasing every
+// register the mode absorbed.
 func (rm *RegMan) spillOne() error {
 	for _, r := range rm.order {
 		o := rm.owner[r]
@@ -154,6 +157,34 @@ func (rm *RegMan) spillOne() error {
 			}
 			o.Owned = owned
 			return nil
+
+		case o.Xreg == r && (o.Mode == OAbs || o.Mode == ODisp || o.Mode == ORegDef):
+			suffix := ""
+			switch o.Type.Size() {
+			case 1:
+				suffix = "b"
+			case 2:
+				suffix = "w"
+			case 4:
+				suffix = "l"
+			case 8:
+				suffix = "q"
+			}
+			if suffix == "" {
+				continue
+			}
+			rm.Spills++
+			off := rm.f.AllocTemp(ir.Long)
+			rm.e.Emit("mova"+suffix, o.Asm(), fmt.Sprintf("%d(fp)", off))
+			for _, x := range o.Owned {
+				if x >= 0 && x < ir.NAllocatable {
+					rm.release(x)
+				}
+			}
+			o.Mode, o.Deferred = ODisp, true
+			o.Reg, o.Off, o.Xreg = ir.RegFP, int64(off), -1
+			o.Owned = nil
+			return nil
 		}
 	}
 	detail := ""
@@ -188,7 +219,13 @@ func (rm *RegMan) AllocSpecific(r int, t ir.Type, o *Operand) error {
 	return nil
 }
 
-// evacuate moves whatever lives in register r somewhere else.
+// evacuate moves whatever lives in register r somewhere else. A value held
+// in r moves to another register or spills to a virtual register; a
+// register absorbed into an addressing mode — as base or index — is
+// relocated so the mode stays intact. Materializing a memory operand's
+// value would read a store destination before the store, so addressing
+// registers are always relocated, spilling an unrelated value when the
+// bank is full.
 func (rm *RegMan) evacuate(r int) error {
 	if rm.phase1[r] {
 		return fmt.Errorf("vax: cannot evacuate phase-1 register r%d", r)
@@ -197,6 +234,39 @@ func (rm *RegMan) evacuate(r int) error {
 	if o == nil {
 		return fmt.Errorf("vax: register r%d busy without owner", r)
 	}
+
+	if o.Mode != OReg {
+		nr, ok := rm.findFree(1)
+		for !ok {
+			if err := rm.spillOne(); err != nil {
+				return err
+			}
+			if !rm.busy[r] {
+				// spillOne picked o itself and spilled the base out of the
+				// addressing mode; r is already vacated.
+				return nil
+			}
+			nr, ok = rm.findFree(1)
+		}
+		rm.e.Emit("movl", ir.RegName(r), ir.RegName(nr))
+		rm.release(r)
+		rm.take(nr, o)
+		switch {
+		case o.Xreg == r:
+			o.Xreg = nr
+		case o.Reg == r && (o.Mode == ODisp || o.Mode == ORegDef || o.Mode == OAutoInc || o.Mode == OAutoDec):
+			o.Reg = nr
+		default:
+			return fmt.Errorf("vax: cannot relocate r%d out of operand %s", r, o.Asm())
+		}
+		for i, x := range o.Owned {
+			if x == r {
+				o.Owned[i] = nr
+			}
+		}
+		return nil
+	}
+
 	t := o.Type.Machine()
 	base := o.Reg
 	// Try another register first, else spill to a virtual register.

@@ -214,7 +214,7 @@ func (g *Gen) action(base string, t ir.Type, p *cgram.Prod, args []matcher.Value
 		}
 		return nil, g.assign(t, src, dst)
 
-	case "rasg":
+	case "rasg", "rasgn":
 		src, err := opnd(args[1])
 		if err != nil {
 			return nil, err
@@ -225,11 +225,13 @@ func (g *Gen) action(base string, t ir.Type, p *cgram.Prod, args []matcher.Value
 		}
 		return nil, g.assign(t, src, dst)
 
-	case "asgv", "rasgv":
+	case "asgv", "rasgv", "asgnv", "rasgnv":
 		// Assignment as a value: the destination descriptor is reused
-		// once as the source of the surrounding computation.
+		// once as the source of the surrounding computation. The
+		// narrowing forms type the result at the destination's width,
+		// so a wider context widens it back via a conversion chain.
 		di, si := 1, 2
-		if base == "rasgv" {
+		if base == "rasgv" || base == "rasgnv" {
 			di, si = 2, 1
 		}
 		dst, err := opnd(args[di])

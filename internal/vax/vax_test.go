@@ -523,3 +523,115 @@ func TestTransferMovesOwnership(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAllocSpecificRelocatesIndexRegister covers the store-destination
+// hazard the differential fuzzer found: when r0 is the index register of a
+// pending indexed operand (arr[r0] on the left of an assignment whose right
+// side calls _urem), claiming r0 for the call result must relocate the
+// index register — materializing the operand's value would read the store
+// destination before the store, and leave the descriptor pointing at the
+// clobbered register.
+func TestAllocSpecificRelocatesIndexRegister(t *testing.T) {
+	e := NewEmitter()
+	rm := NewRegMan(e, &ir.Func{Name: "t"})
+
+	idx := &Operand{Mode: OReg, Type: ir.Long, Xreg: -1}
+	r, err := rm.Alloc(ir.Long, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("first allocation got r%d, want r0", r)
+	}
+	idx.Reg, idx.Owned = r, []int{r}
+
+	// The addressing mode absorbs r0 as its index register.
+	dst := &Operand{Mode: OAbs, Type: ir.Long, Sym: "arr", Xreg: r}
+	dst.Owned = rm.Transfer(idx, dst)
+
+	res := &Operand{Mode: OReg, Type: ir.Long, Reg: 0, Xreg: -1}
+	if err := rm.AllocSpecific(0, ir.Long, res); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Xreg == 0 {
+		t.Errorf("destination still indexes with the claimed register: %s", dst.Asm())
+	}
+	want := "\tmovl\tr0," + ir.RegName(dst.Xreg) + "\n"
+	if e.String() != want {
+		t.Errorf("evacuation emitted %q, want %q", e.String(), want)
+	}
+	if dst.Asm() != "_arr["+ir.RegName(dst.Xreg)+"]" {
+		t.Errorf("relocated operand renders as %q", dst.Asm())
+	}
+}
+
+// TestAllocSpecificRelocatesBaseRegister: the same hazard with r0 as the
+// base register of a deferred-style memory operand ((r0) as a store
+// target).
+func TestAllocSpecificRelocatesBaseRegister(t *testing.T) {
+	e := NewEmitter()
+	rm := NewRegMan(e, &ir.Func{Name: "t"})
+
+	ptr := &Operand{Mode: OReg, Type: ir.Long, Xreg: -1}
+	r, err := rm.Alloc(ir.Long, ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr.Reg, ptr.Owned = r, []int{r}
+	dst := &Operand{Mode: ORegDef, Type: ir.Long, Reg: r, Xreg: -1}
+	dst.Owned = rm.Transfer(ptr, dst)
+
+	res := &Operand{Mode: OReg, Type: ir.Long, Reg: 0, Xreg: -1}
+	if err := rm.AllocSpecific(0, ir.Long, res); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Reg == 0 {
+		t.Errorf("destination still based on the claimed register: %s", dst.Asm())
+	}
+	if got, want := dst.Asm(), "("+ir.RegName(dst.Reg)+")"; got != want {
+		t.Errorf("relocated operand renders as %q, want %q", got, want)
+	}
+}
+
+// TestSpillIndexedOperand covers the register-exhaustion case the
+// differential fuzzer found: when every allocatable register is the index
+// of a pending indexed operand, a further allocation must spill one by
+// materializing its effective address (movaX, which scales the index by
+// the operand size) and turning the descriptor into the deferred form.
+func TestSpillIndexedOperand(t *testing.T) {
+	e := NewEmitter()
+	f := &ir.Func{Name: "t"}
+	rm := NewRegMan(e, f)
+
+	var ops []*Operand
+	for i := 0; i < ir.NAllocatable; i++ {
+		idx := &Operand{Mode: OReg, Type: ir.Long, Xreg: -1}
+		r, err := rm.Alloc(ir.Long, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx.Reg, idx.Owned = r, []int{r}
+		o := &Operand{Mode: OAbs, Type: ir.Word, Sym: "sbuf", Xreg: r}
+		o.Owned = rm.Transfer(idx, o)
+		ops = append(ops, o)
+	}
+
+	v := &Operand{Mode: OReg, Type: ir.Long, Xreg: -1}
+	r, err := rm.Alloc(ir.Long, v)
+	if err != nil {
+		t.Fatalf("allocation with all registers indexing failed: %v", err)
+	}
+	v.Reg, v.Owned = r, []int{r}
+
+	spilled := ops[0]
+	if spilled.Mode != ODisp || !spilled.Deferred || spilled.Reg != ir.RegFP || spilled.Xreg != -1 {
+		t.Errorf("oldest operand not spilled to a deferred slot: %s", spilled.Asm())
+	}
+	want := "\tmovaw\t_sbuf[r0]," + spilled.Asm()[1:] + "\n"
+	if e.String() != want {
+		t.Errorf("spill emitted %q, want %q", e.String(), want)
+	}
+	if rm.Spills != 1 {
+		t.Errorf("spills = %d, want 1", rm.Spills)
+	}
+}

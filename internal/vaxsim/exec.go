@@ -80,13 +80,18 @@ func init() {
 	execTable["ashl"] = ashl
 	execTable["extzv"] = extzv
 	execTable["pushl"] = pushl
-	execTable["moval"] = moval
+	execTable["movab"] = mova(1)
+	execTable["movaw"] = mova(2)
+	execTable["moval"] = mova(4)
+	execTable["movaq"] = mova(8)
 	execTable["jbr"] = jbr
 	for name, cond := range branchConds {
 		execTable[name] = branch(cond)
 	}
 	execTable["calls"] = calls
 	execTable["ret"] = ret
+	execTable["aoblss"] = aob(func(index, limit int64) bool { return index < limit })
+	execTable["aobleq"] = aob(func(index, limit int64) bool { return index <= limit })
 }
 
 func (m *Machine) setNZInt(v int64, size int) {
@@ -659,25 +664,29 @@ func pushl(m *Machine, in *Instr) error {
 	return nil
 }
 
-// moval src,dst: dst receives the address of src.
-func moval(m *Machine, in *Instr) error {
-	if err := operands(in, 2); err != nil {
-		return err
+// mova src,dst: dst receives the address of src; the instruction's data
+// size scales an index in the source mode (movab by 1, movaw by 2, moval
+// by 4, movaq by 8). The destination is always a longword.
+func mova(size int) handler {
+	return func(m *Machine, in *Instr) error {
+		if err := operands(in, 2); err != nil {
+			return err
+		}
+		src, err := m.resolve(&in.Ops[0], size)
+		if err != nil {
+			return err
+		}
+		if src.kind != locMem {
+			return fmt.Errorf("mova source has no address")
+		}
+		dst, err := m.resolve(&in.Ops[1], 4)
+		if err != nil {
+			return err
+		}
+		v := int64(int32(src.addr))
+		m.setNZInt(v, 4)
+		return m.writeInt(dst, 4, v)
 	}
-	src, err := m.resolve(&in.Ops[0], 4)
-	if err != nil {
-		return err
-	}
-	if src.kind != locMem {
-		return fmt.Errorf("moval source has no address")
-	}
-	dst, err := m.resolve(&in.Ops[1], 4)
-	if err != nil {
-		return err
-	}
-	v := int64(int32(src.addr))
-	m.setNZInt(v, 4)
-	return m.writeInt(dst, 4, v)
 }
 
 // branchConds are the PCC-style jump pseudo-instructions and their
@@ -728,6 +737,48 @@ func branch(cond func(*Machine) bool) handler {
 			return err
 		}
 		if cond(m) {
+			m.pcNext = t
+		}
+		return nil
+	}
+}
+
+// aob implements the add-one-and-branch loop instructions
+// `aobxxx limit,index,target`: the index is incremented by one, the
+// condition codes are set from the (wrapped) sum, and control transfers
+// while the signed comparison against the limit still holds — aoblss
+// branches on index < limit, aobleq on index <= limit.
+func aob(cont func(index, limit int64) bool) handler {
+	return func(m *Machine, in *Instr) error {
+		if err := operands(in, 3); err != nil {
+			return err
+		}
+		ll, err := m.resolve(&in.Ops[0], 4)
+		if err != nil {
+			return err
+		}
+		limit, err := m.readInt(ll, 4, false)
+		if err != nil {
+			return err
+		}
+		li, err := m.resolve(&in.Ops[1], 4)
+		if err != nil {
+			return err
+		}
+		index, err := m.readInt(li, 4, false)
+		if err != nil {
+			return err
+		}
+		index = extend(uint64(index+1), 4, false)
+		m.setNZInt(index, 4)
+		if err := m.writeInt(li, 4, index); err != nil {
+			return err
+		}
+		t, err := target(m, &in.Ops[2])
+		if err != nil {
+			return err
+		}
+		if cont(index, limit) {
 			m.pcNext = t
 		}
 		return nil

@@ -55,6 +55,24 @@ const (
 // retSentinel is the return "pc" of the outermost frame.
 const retSentinel = -2
 
+// ExecError describes a runtime fault of the simulated machine: the
+// failing instruction by program counter and assembly source line, its
+// disassembly, and the underlying cause. Every instruction-level fault —
+// including a Go panic recovered out of a handler — surfaces as an
+// ExecError from Call, never as a panic of the simulator itself.
+type ExecError struct {
+	PC    int    // index into Program.Instrs
+	Line  int    // assembly source line of the instruction
+	Instr string // disassembled instruction
+	Err   error  // underlying cause
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("vaxsim: pc %d, line %d (%s): %v", e.PC, e.Line, e.Instr, e.Err)
+}
+
+func (e *ExecError) Unwrap() error { return e.Err }
+
 // DefaultMemory is the simulated memory size.
 const DefaultMemory = 1 << 20
 
@@ -140,13 +158,27 @@ func (m *Machine) CallPreservingState(name string, args ...int64) (int64, error)
 		m.pcNext = m.pc + 1
 		h := execTable[in.Mn]
 		if h == nil {
-			return 0, fmt.Errorf("vaxsim: line %d: unknown instruction %q", in.Line, in.Mn)
+			return 0, &ExecError{PC: m.pc, Line: in.Line, Instr: in.String(),
+				Err: fmt.Errorf("unknown instruction %q", in.Mn)}
 		}
-		if err := h(m, in); err != nil {
-			return 0, fmt.Errorf("vaxsim: line %d (%s): %v", in.Line, in, err)
+		if err := m.step(in, h); err != nil {
+			return 0, &ExecError{PC: m.pc, Line: in.Line, Instr: in.String(), Err: err}
 		}
 		m.pc = m.pcNext
 	}
+}
+
+// step runs one handler, converting a panic — an out-of-range register
+// number in a hand-built Program, say — into an ordinary error so the
+// fault is reported with its instruction context instead of unwinding
+// through the caller.
+func (m *Machine) step(in *Instr, h handler) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return h(m, in)
 }
 
 func (m *Machine) saveRegs() frame {

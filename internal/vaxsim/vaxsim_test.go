@@ -1,6 +1,8 @@
 package vaxsim
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -458,5 +460,235 @@ func TestOperandStringRoundTrip(t *testing.T) {
 		if got := o.String(); got != s {
 			t.Errorf("round trip %q -> %q", s, got)
 		}
+	}
+}
+
+func TestAoblssLoop(t *testing.T) {
+	// Sum 0..7 with the loop bottom the peephole optimizer emits.
+	_, r := run(t, header+`
+_f:	.word 0
+	clrl r0
+	clrl r1
+L1:	addl2 r1,r0
+	aoblss $8,r1,L1
+	ret
+`, "_f")
+	if r != 28 {
+		t.Errorf("sum 0..7 = %d, want 28", r)
+	}
+}
+
+func TestAobleqLoop(t *testing.T) {
+	_, r := run(t, header+`
+_f:	.word 0
+	clrl r0
+	clrl r1
+L1:	addl2 r1,r0
+	aobleq $7,r1,L1
+	ret
+`, "_f")
+	if r != 28 {
+		t.Errorf("sum 0..7 = %d, want 28", r)
+	}
+}
+
+func TestAobIndexAtLimitRunsOnce(t *testing.T) {
+	// The aob sits at the loop bottom: the body always runs once, and with
+	// the index starting at the limit the increment fails the test at once.
+	_, r := run(t, header+`
+_f:	.word 0
+	clrl r0
+	movl $8,r1
+L1:	incl r0
+	aoblss $8,r1,L1
+	ret
+`, "_f")
+	if r != 1 {
+		t.Errorf("iterations = %d, want 1", r)
+	}
+}
+
+func TestAobNegativeRange(t *testing.T) {
+	_, r := run(t, header+`
+_f:	.word 0
+	clrl r0
+	movl $-3,r1
+L1:	incl r0
+	aoblss $0,r1,L1
+	ret
+`, "_f")
+	if r != 3 {
+		t.Errorf("iterations = %d, want 3", r)
+	}
+}
+
+func TestAobMemoryIndexAndLimit(t *testing.T) {
+	m, r := run(t, header+`
+.data
+.comm _i,4
+.comm _n,4
+.text
+_f:	.word 0
+	movl $5,_n
+	clrl r0
+L1:	incl r0
+	aoblss _n,_i,L1
+	ret
+`, "_f")
+	if r != 5 {
+		t.Errorf("iterations = %d, want 5", r)
+	}
+	if v, _ := m.ReadGlobal("_i", 4); v != 5 {
+		t.Errorf("_i = %d, want 5", v)
+	}
+}
+
+func TestMovaScalesIndexBySize(t *testing.T) {
+	// movab/movaw/moval/movaq scale an index register by their own data
+	// size; the computed addresses differ by the element width.
+	m, _ := run(t, header+`
+.data
+.comm _arr,64
+.comm _ab,4
+.comm _aw,4
+.comm _al,4
+.comm _aq,4
+.text
+_f:	.word 0
+	movl $3,r1
+	movab _arr[r1],_ab
+	movaw _arr[r1],_aw
+	moval _arr[r1],_al
+	movaq _arr[r1],_aq
+	ret
+`, "_f")
+	base, _ := m.Global("_arr")
+	for _, tc := range []struct {
+		sym  string
+		want int64
+	}{
+		{"_ab", int64(base) + 3},
+		{"_aw", int64(base) + 6},
+		{"_al", int64(base) + 12},
+		{"_aq", int64(base) + 24},
+	} {
+		if v, _ := m.ReadGlobal(tc.sym, 4); v != tc.want {
+			t.Errorf("%s = %d, want %d", tc.sym, v, tc.want)
+		}
+	}
+}
+
+func TestMovaDeferredRoundTrip(t *testing.T) {
+	// The spill path materializes an indexed operand's address with movaw
+	// and later uses it through the deferred mode.
+	_, r := run(t, header+`
+.data
+.comm _sbuf,16
+.text
+_f:	.word 0
+	movl $6,r1
+	movw $1234,_sbuf[r1]
+	movaw _sbuf[r1],-4(fp)
+	movzwl *-4(fp),r0
+	ret
+`, "_f")
+	if r != 1234 {
+		t.Errorf("reload through spilled address = %d, want 1234", r)
+	}
+}
+
+// TestExecErrorFormat asserts the structured fault report: every runtime
+// fault carries the program counter, the assembly source line and the
+// disassembled instruction, in a fixed message shape.
+func TestExecErrorFormat(t *testing.T) {
+	src := header + `
+_f:	.word 0
+	movl $5,r1
+	divl3 $0,r1,r0
+	ret
+`
+	mm := New(assemble(t, src))
+	_, err := mm.Call("_f")
+	if err == nil {
+		t.Fatal("division by zero did not fail")
+	}
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error is %T, want *ExecError", err)
+	}
+	if ee.PC != 1 {
+		t.Errorf("PC = %d, want 1", ee.PC)
+	}
+	if !strings.Contains(ee.Instr, "divl3") {
+		t.Errorf("Instr = %q, want the disassembled divl3", ee.Instr)
+	}
+	want := fmt.Sprintf("vaxsim: pc %d, line %d (%s): integer divide by zero",
+		ee.PC, ee.Line, ee.Instr)
+	if err.Error() != want {
+		t.Errorf("message = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestExecErrorUnknownInstruction(t *testing.T) {
+	// The assembler rejects unknown mnemonics, so a hand-built program is
+	// the only way to reach the execution-time check.
+	p := &Program{
+		Instrs: []Instr{{Mn: "frob", Line: 7}},
+		Labels: map[string]int{"_f": 0},
+	}
+	_, err := New(p).Call("_f")
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error is %T, want *ExecError", err)
+	}
+	if ee.PC != 0 || ee.Line != 7 {
+		t.Errorf("PC, Line = %d, %d, want 0, 7", ee.PC, ee.Line)
+	}
+	if !strings.Contains(err.Error(), `unknown instruction "frob"`) {
+		t.Errorf("message = %q", err.Error())
+	}
+}
+
+func TestExecErrorUnwrap(t *testing.T) {
+	src := header + `
+_f:	.word 0
+	divl3 $0,$1,r0
+	ret
+`
+	_, err := New(assemble(t, src)).Call("_f")
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error is %T, want *ExecError", err)
+	}
+	if ee.Unwrap() == nil || ee.Unwrap().Error() != "integer divide by zero" {
+		t.Errorf("Unwrap() = %v", ee.Unwrap())
+	}
+}
+
+func TestHandlerPanicBecomesExecError(t *testing.T) {
+	// A hand-built instruction naming an out-of-range register makes the
+	// handler index past the register file; the step loop must convert the
+	// panic into a structured fault, not unwind.
+	p := &Program{
+		Instrs: []Instr{{
+			Mn:   "movl",
+			Ops:  []Operand{{Mode: MImm, Imm: 1, Index: -1}, {Mode: MReg, Reg: 99, Index: -1}},
+			Line: 3,
+		}},
+		Labels: map[string]int{"_f": 0},
+	}
+	_, err := New(p).Call("_f")
+	if err == nil {
+		t.Fatal("out-of-range register did not fail")
+	}
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error is %T, want *ExecError", err)
+	}
+	if !strings.Contains(err.Error(), "panic:") {
+		t.Errorf("message = %q, want a recovered panic", err.Error())
+	}
+	if ee.PC != 0 || ee.Line != 3 {
+		t.Errorf("PC, Line = %d, %d, want 0, 3", ee.PC, ee.Line)
 	}
 }
