@@ -21,9 +21,12 @@ type BatchConfig struct {
 	// listing is inherently per-unit and would interleave across workers;
 	// trace single units with Compile. Config.Observer, if set, receives
 	// the merged instrumentation of the whole batch: each worker records
-	// into a private shard, folded back once when the pool drains.
-	// Config.Workers additionally parallelizes the functions within each
-	// unit.
+	// into a private shard, folded back once when the pool drains. Every
+	// shard gets its own track id, so the observer's span events carry
+	// which worker did what — exported through internal/obs/traceexport
+	// (ggcc -tracefile), an 8-worker batch renders as eight parallel
+	// timeline tracks. Config.Workers additionally parallelizes the
+	// functions within each unit.
 	Config Config
 }
 
@@ -86,14 +89,18 @@ func CompileBatch(srcs []string, cfg BatchConfig) ([]*Compiled, error) {
 
 	// Build the shared tables up front (outside the timed span of any
 	// one unit) so workers never race to construct them and the first
-	// unit is not charged for the static half.
+	// unit is not charged for the static half. The span puts the
+	// once-per-batch static cost on the main track of a timeline trace,
+	// where it would otherwise be invisible.
+	parent := cfg.Config.Observer
 	if !cfg.Config.Baseline {
-		if _, err := vax.Tables(); err != nil {
+		tsp := parent.Start("tables")
+		_, err := vax.Tables()
+		tsp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
-
-	parent := cfg.Config.Observer
 	errs := make([]error, len(srcs))
 	shards := make([]*Observer, workers)
 	var next atomic.Int64

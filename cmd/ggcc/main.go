@@ -29,16 +29,29 @@
 //	-coverage     print machine-description table coverage (productions
 //	              fired, states visited, never-fired productions)
 //	-events file  write the structured JSONL event stream to file
+//	-tracefile f  write a Chrome trace_event timeline to f; open it in
+//	              ui.perfetto.dev (with -j, one track per worker)
+//	-allocs       measure per-span heap allocation deltas, rendered as
+//	              "allocated bytes" counter tracks in -tracefile
+//
+// Output files (-o, -events, -tracefile) are created before compilation
+// starts, so an unwritable path fails immediately with a non-zero exit
+// rather than after a long batch; they are flushed and closed on every
+// exit path, including compile failures.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"ggcg"
+	"ggcg/internal/obs/traceexport"
 )
 
 func main() {
@@ -54,6 +67,8 @@ func main() {
 		profile   = flag.Bool("profile", false, "print the instrumentation report to stderr")
 		coverage  = flag.Bool("coverage", false, "print table coverage (productions fired, states visited)")
 		events    = flag.String("events", "", "write JSONL instrumentation events to `file`")
+		traceFile = flag.String("tracefile", "", "write a Chrome/Perfetto trace_event timeline to `file`")
+		allocs    = flag.Bool("allocs", false, "measure per-span heap allocation deltas (adds counter tracks to -tracefile; process-global, so parallel workers attribute each other's allocations)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -61,42 +76,101 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	files := flag.Args()
+	opts := options{
+		outFile: *outFile, jobs: *jobs, baseline: *baseline, optimize: *optimize,
+		noReverse: *noReverse, trace: *trace, run: *run, stats: *stats,
+		profile: *profile, coverage: *coverage, events: *events, traceFile: *traceFile,
+		allocs: *allocs,
+	}
+	if err := compile(opts, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ggcc:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	outFile                       string
+	jobs                          int
+	baseline, optimize, noReverse bool
+	trace, run, stats             bool
+	profile, coverage, allocs     bool
+	events, traceFile             string
+}
+
+func compile(opts options, files []string) (err error) {
 	batch := len(files) > 1
 	if batch {
-		for name, on := range map[string]bool{"-trace": *trace, "-run": *run, "-o": *outFile != ""} {
+		for name, on := range map[string]bool{"-trace": opts.trace, "-run": opts.run, "-o": opts.outFile != ""} {
 			if on {
-				fatal(fmt.Errorf("%s applies to a single input file, got %d", name, len(files)))
+				return fmt.Errorf("%s applies to a single input file, got %d", name, len(files))
 			}
 		}
 	}
 	srcs := make([]string, len(files))
 	for i, f := range files {
-		data, err := os.ReadFile(f)
-		if err != nil {
-			fatal(err)
+		data, rerr := os.ReadFile(f)
+		if rerr != nil {
+			return rerr
 		}
 		srcs[i] = string(data)
 	}
 
-	var obs *ggcg.Observer
+	// Create every output sink up front: a path that cannot be created
+	// must fail the run before any compilation happens, not produce a
+	// silent partial result at the end.
+	var o *ggcg.Observer
 	var eventsFile *os.File
-	if *profile || *coverage || *events != "" {
-		cfg := ggcg.ObserverConfig{TrackAllocs: *profile && !batch && *jobs <= 1}
-		if *events != "" {
-			var err error
-			eventsFile, err = os.Create(*events)
-			if err != nil {
-				fatal(err)
-			}
-			cfg.Events = eventsFile
-			cfg.TraceEvents = *trace
+	var traceBuf *bytes.Buffer
+	if opts.profile || opts.coverage || opts.events != "" || opts.traceFile != "" {
+		cfg := ggcg.ObserverConfig{
+			TrackAllocs: opts.allocs || (opts.profile && !batch && opts.jobs <= 1),
 		}
-		obs = ggcg.NewObserver(cfg)
+		var sinks []io.Writer
+		if opts.events != "" {
+			eventsFile, err = os.Create(opts.events)
+			if err != nil {
+				return fmt.Errorf("creating -events file: %w", err)
+			}
+			sinks = append(sinks, eventsFile)
+		}
+		if opts.traceFile != "" {
+			// Probe the trace path now; the converted trace itself is
+			// written from the buffered event stream after the run.
+			probe, perr := os.Create(opts.traceFile)
+			if perr != nil {
+				err = fmt.Errorf("creating -tracefile: %w", perr)
+				return err
+			}
+			probe.Close()
+			traceBuf = &bytes.Buffer{}
+			sinks = append(sinks, traceBuf)
+		}
+		if len(sinks) > 0 {
+			cfg.Events = io.MultiWriter(sinks...)
+			cfg.TraceEvents = opts.trace
+		}
+		o = ggcg.NewObserver(cfg)
 	}
 
-	cfg := ggcg.Config{Baseline: *baseline, NoReverseOps: *noReverse, Peephole: *optimize, Observer: obs}
-	if *trace {
+	// Whatever happens below — including a failed compile — the observer
+	// is flushed, the trace is converted, and the event file is closed;
+	// sink errors surface on the exit status instead of vanishing.
+	defer func() {
+		if o != nil {
+			o.Flush()
+		}
+		if traceBuf != nil {
+			err = errors.Join(err, writeTrace(opts.traceFile, traceBuf))
+		}
+		if eventsFile != nil {
+			if cerr := eventsFile.Close(); cerr != nil {
+				err = errors.Join(err, fmt.Errorf("closing -events file: %w", cerr))
+			}
+		}
+	}()
+
+	cfg := ggcg.Config{Baseline: opts.baseline, NoReverseOps: opts.noReverse, Peephole: opts.optimize, Observer: o}
+	if opts.trace {
 		cfg.Trace = os.Stderr
 	}
 
@@ -104,24 +178,24 @@ func main() {
 	var elapsed time.Duration
 	if batch {
 		start := time.Now()
-		res, err := ggcg.CompileBatch(srcs, ggcg.BatchConfig{Workers: *jobs, Config: cfg})
+		res, berr := ggcg.CompileBatch(srcs, ggcg.BatchConfig{Workers: opts.jobs, Config: cfg})
 		elapsed = time.Since(start)
-		if err != nil {
-			fatal(err)
+		if berr != nil {
+			return berr
 		}
 		outs = res
 	} else {
-		cfg.Workers = *jobs
+		cfg.Workers = opts.jobs
 		start := time.Now()
-		out, err := ggcg.Compile(srcs[0], cfg)
+		out, cerr := ggcg.Compile(srcs[0], cfg)
 		elapsed = time.Since(start)
-		if err != nil {
-			fatal(err)
+		if cerr != nil {
+			return cerr
 		}
 		outs = []*ggcg.Compiled{out}
 	}
 
-	if *stats {
+	if opts.stats {
 		var agg ggcg.Stats
 		for _, out := range outs {
 			s := out.Stats
@@ -139,50 +213,59 @@ func main() {
 		if batch {
 			secs := elapsed.Seconds()
 			fmt.Fprintf(os.Stderr, "batch: %d units in %v with %d workers: %.0f units/sec, %.0f trees/sec\n",
-				len(outs), elapsed.Round(time.Microsecond), batchWorkers(*jobs, len(outs)),
+				len(outs), elapsed.Round(time.Microsecond), batchWorkers(opts.jobs, len(outs)),
 				float64(len(outs))/secs, float64(agg.Trees)/secs)
 		}
 	}
 
 	switch {
-	case *outFile != "":
-		if err := os.WriteFile(*outFile, []byte(outs[0].Asm), 0o644); err != nil {
-			fatal(err)
+	case opts.outFile != "":
+		if werr := os.WriteFile(opts.outFile, []byte(outs[0].Asm), 0o644); werr != nil {
+			return werr
 		}
-	case !*run:
+	case !opts.run:
 		for _, out := range outs {
 			fmt.Print(out.Asm)
 		}
 	}
-	if *run {
-		m, err := ggcg.NewMachineObs(outs[0].Asm, obs)
-		if err != nil {
-			fatal(err)
+	if opts.run {
+		m, merr := ggcg.NewMachineObs(outs[0].Asm, o)
+		if merr != nil {
+			return merr
 		}
-		r, err := m.Call("main")
-		if err != nil {
-			fatal(err)
+		r, rerr := m.Call("main")
+		if rerr != nil {
+			return rerr
 		}
 		fmt.Printf("main() = %d (%d instructions executed)\n", r, m.Steps())
 	}
 
-	if obs != nil {
+	if o != nil {
 		switch {
-		case *profile:
-			obs.WriteReport(os.Stderr)
-		case *coverage:
-			if p, _ := obs.CoverageUniverse(); p == 0 {
+		case opts.profile:
+			o.WriteReport(os.Stderr)
+		case opts.coverage:
+			if p, _ := o.CoverageUniverse(); p == 0 {
 				fmt.Fprintln(os.Stderr, "ggcc: no table coverage recorded (-baseline does not use the tables)")
 			}
-			obs.WriteCoverage(os.Stderr)
-		}
-		obs.Flush()
-		if eventsFile != nil {
-			if err := eventsFile.Close(); err != nil {
-				fatal(err)
-			}
+			o.WriteCoverage(os.Stderr)
 		}
 	}
+	return nil
+}
+
+// writeTrace converts the buffered JSONL event stream into a trace_event
+// timeline at path.
+func writeTrace(path string, events *bytes.Buffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating -tracefile: %w", err)
+	}
+	cerr := traceexport.Convert(bytes.NewReader(events.Bytes()), f)
+	if err := f.Close(); err != nil && cerr == nil {
+		cerr = fmt.Errorf("closing -tracefile: %w", err)
+	}
+	return cerr
 }
 
 // batchWorkers mirrors CompileBatch's worker-count clamp for reporting.
@@ -194,9 +277,4 @@ func batchWorkers(jobs, units int) int {
 		jobs = units
 	}
 	return jobs
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ggcc:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,88 @@
+// Ggcd is the compile daemon: a long-running HTTP service that compiles
+// the C dialect to VAX assembly over the shared once-built tables and
+// surfaces the pipeline's instrumentation as standard operational
+// telemetry. It is the service form of the paper's economics: the static
+// half (table construction) is paid once at startup and every request
+// pays only the table-driven walk.
+//
+// Endpoints:
+//
+//	POST /compile        source in the body, assembly out.
+//	                     Query: peephole=1, baseline=1, noreverse=1,
+//	                     workers=N (per-unit function parallelism),
+//	                     format=json (JSON response with stats and the
+//	                     request's span events instead of bare assembly)
+//	GET  /metrics        Prometheus text exposition: cumulative request
+//	                     and pipeline counters, latency histograms with
+//	                     p50/p90/p99, per-phase span aggregates, table
+//	                     coverage
+//	GET  /healthz        liveness (also verifies the tables are built)
+//	GET  /debug/vars     expvar
+//	GET  /debug/pprof/   runtime profiles
+//
+// Usage:
+//
+//	ggcd [-addr :8421] [-timeout 10s] [-drain 5s] [-max-source 1048576]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: listeners close,
+// in-flight requests get -drain to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ggcg"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8421", "listen address")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request compile timeout")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		maxSource = flag.Int64("max-source", 1<<20, "maximum request body size in bytes")
+	)
+	flag.Parse()
+
+	// Build the shared tables before accepting traffic, so the first
+	// request is not charged for the static half and a broken machine
+	// description fails fast at startup.
+	start := time.Now()
+	if _, err := ggcg.BuildTables(false); err != nil {
+		log.Fatalf("ggcd: building tables: %v", err)
+	}
+	log.Printf("ggcd: tables built in %v", time.Since(start).Round(time.Millisecond))
+
+	srv := newServer(serverConfig{Timeout: *timeout, MaxSource: *maxSource})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ggcd: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("ggcd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("ggcd: shutting down (drain %v)", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("ggcd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("ggcd: served %d compile requests", srv.reg.Counter("requests"))
+}

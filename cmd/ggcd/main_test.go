@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+const prog = `int main() { int i = 1, s = 0; while (i <= 10) { s += i; i++; } return s; }`
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(serverConfig{Timeout: 30 * time.Second})
+	ts := httptest.NewServer(s.mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/compile?peephole=1", "text/plain", strings.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "_main:") {
+		t.Errorf("response is not assembly:\n%s", body)
+	}
+	if ns, err := strconv.ParseInt(resp.Header.Get("X-Ggcd-Compile-Ns"), 10, 64); err != nil || ns <= 0 {
+		t.Errorf("X-Ggcd-Compile-Ns = %q", resp.Header.Get("X-Ggcd-Compile-Ns"))
+	}
+	if got := s.reg.Counter("requests"); got != 1 {
+		t.Errorf("requests counter = %d, want 1", got)
+	}
+	if got := s.reg.Counter("codegen.trees"); got <= 0 {
+		t.Errorf("merged codegen.trees = %d, want > 0", got)
+	}
+}
+
+func TestCompileJSONWithEvents(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/compile?format=json", "text/plain", strings.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr compileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatalf("decoding JSON response: %v", err)
+	}
+	if !strings.Contains(cr.Asm, "_main:") {
+		t.Errorf("asm missing main:\n%s", cr.Asm)
+	}
+	if cr.Stats.Trees <= 0 || cr.Stats.AsmLines <= 0 {
+		t.Errorf("stats not populated: %+v", cr.Stats)
+	}
+	// Per-request span events ride along; at least the compile span.
+	spans := 0
+	for _, raw := range cr.Events {
+		var e struct{ Kind, Path string }
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatalf("bad event %s: %v", raw, err)
+		}
+		if e.Kind == "span" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Errorf("no span events in JSON response (%d events)", len(cr.Events))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	for _, tc := range []struct {
+		name, url, body string
+		wantStatus      int
+	}{
+		{"bad source", "/compile", "int main( {", http.StatusUnprocessableEntity},
+		{"empty body", "/compile", "   ", http.StatusBadRequest},
+		{"bad workers", "/compile?workers=x", prog, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+tc.url, "text/plain", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+	}
+	if got := s.reg.Counter("errors"); got != 1 {
+		t.Errorf("errors counter = %d, want 1 (only the bad-source request compiles)", got)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Two compiles so the counters are visibly cumulative.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("content type %q", resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"# TYPE ggcd_requests_total counter",
+		"ggcd_requests_total 2",
+		"# TYPE ggcd_compile_ns histogram",
+		"ggcd_compile_ns_count 2",
+		"ggcd_compile_ns_p99",
+		`ggcd_phase_ns_total{path="compile"}`,
+		"ggcd_table_productions_fired",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Every sample line must parse as name[{labels}] value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+	}
+}
+
+func TestHealthAndDebugEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/healthz", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestCompileTimeout(t *testing.T) {
+	s := newServer(serverConfig{Timeout: 1 * time.Nanosecond})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := s.reg.Counter("timeouts"); got != 1 {
+		t.Errorf("timeouts counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"ggcg"
+)
+
+// serverConfig bounds one daemon instance.
+type serverConfig struct {
+	// Timeout caps how long one compile request may run before the
+	// client gets 503. The compile goroutine itself is CPU-bound and
+	// runs to completion; the bound is on the response, which is what a
+	// load balancer needs.
+	Timeout time.Duration
+
+	// MaxSource caps the request body size.
+	MaxSource int64
+}
+
+// server is the daemon's handler set plus its cumulative registry.
+type server struct {
+	cfg serverConfig
+	reg *ggcg.Registry
+	mux *http.ServeMux
+}
+
+// compileResponse is the format=json response body.
+type compileResponse struct {
+	Asm    string            `json:"asm"`
+	Stats  ggcg.Stats        `json:"stats"`
+	Events []json.RawMessage `json:"events,omitempty"`
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MaxSource <= 0 {
+		cfg.MaxSource = 1 << 20
+	}
+	s := &server{cfg: cfg, reg: ggcg.NewRegistry("ggcd"), mux: http.NewServeMux()}
+	s.reg.Help("requests", "compile requests accepted")
+	s.reg.Help("errors", "compile requests that failed (bad source)")
+	s.reg.Help("timeouts", "compile requests that exceeded the deadline")
+	s.reg.Help("compile.ns", "wall time per compile request, ns")
+	s.reg.Help("source.bytes", "request source size, bytes")
+	s.reg.Help("asm.lines", "assembly lines per successful request")
+
+	s.mux.HandleFunc("POST /compile", s.handleCompile)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	// The request totals double as expvar gauges, so /debug/vars shows
+	// service health next to the runtime's memstats. Publish panics on a
+	// duplicate name, and tests construct more than one server, so only
+	// the first instance claims the names.
+	for name, get := range map[string]func() int64{
+		"ggcd.requests": func() int64 { return s.reg.Counter("requests") },
+		"ggcd.errors":   func() int64 { return s.reg.Counter("errors") },
+	} {
+		if expvar.Get(name) == nil {
+			get := get
+			expvar.Publish(name, expvar.Func(func() any { return get() }))
+		}
+	}
+	return s
+}
+
+// compiled carries one compile result across the timeout boundary.
+type compiled struct {
+	out *ggcg.Compiled
+	o   *ggcg.Observer
+	err error
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSource+1))
+	if err != nil {
+		http.Error(w, "ggcd: reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(src)) > s.cfg.MaxSource {
+		http.Error(w, fmt.Sprintf("ggcd: source exceeds %d bytes", s.cfg.MaxSource), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if len(bytes.TrimSpace(src)) == 0 {
+		http.Error(w, "ggcd: empty source", http.StatusBadRequest)
+		return
+	}
+
+	q := r.URL.Query()
+	cfg := ggcg.Config{
+		Baseline:     q.Get("baseline") == "1",
+		Peephole:     q.Get("peephole") == "1",
+		NoReverseOps: q.Get("noreverse") == "1",
+	}
+	if ws := q.Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil || n < 0 {
+			http.Error(w, "ggcd: bad workers parameter", http.StatusBadRequest)
+			return
+		}
+		cfg.Workers = n
+	}
+	wantJSON := q.Get("format") == "json"
+
+	s.reg.Count("requests", 1)
+	s.reg.Observe("source.bytes", int64(len(src)))
+
+	// Every request records into its own observer — span events included
+	// when the client asked for them — folded into the cumulative
+	// registry afterwards, exactly like a batch worker shard.
+	var events bytes.Buffer
+	o := ggcg.NewObserver(ggcg.ObserverConfig{Events: &events})
+	cfg.Observer = o
+
+	start := time.Now()
+	done := make(chan compiled, 1)
+	go func() {
+		out, err := ggcg.Compile(string(src), cfg)
+		o.Flush()
+		done <- compiled{out: out, o: o, err: err}
+	}()
+
+	ctx := r.Context()
+	timer := time.NewTimer(s.cfg.Timeout)
+	defer timer.Stop()
+	var res compiled
+	select {
+	case res = <-done:
+	case <-timer.C:
+		s.reg.Count("timeouts", 1)
+		http.Error(w, "ggcd: compile deadline exceeded", http.StatusServiceUnavailable)
+		return
+	case <-ctx.Done():
+		s.reg.Count("canceled", 1)
+		return
+	}
+	elapsed := time.Since(start)
+
+	s.reg.Observe("compile.ns", elapsed.Nanoseconds())
+	s.reg.Merge(res.o)
+	if res.err != nil {
+		s.reg.Count("errors", 1)
+		http.Error(w, "ggcd: "+res.err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.reg.Observe("asm.lines", int64(res.out.Stats.AsmLines))
+
+	w.Header().Set("X-Ggcd-Compile-Ns", strconv.FormatInt(elapsed.Nanoseconds(), 10))
+	if !wantJSON {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, res.out.Asm)
+		return
+	}
+	resp := compileResponse{Asm: res.out.Asm, Stats: res.out.Stats}
+	dec := json.NewDecoder(bytes.NewReader(events.Bytes()))
+	for dec.More() {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			break
+		}
+		resp.Events = append(resp.Events, raw)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if _, err := ggcg.Info(); err != nil {
+		http.Error(w, "ggcd: tables unavailable: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ggcg/internal/benchfmt"
+	"ggcg/internal/obs"
+)
+
+// measurements is one file reduced to metric name -> nanoseconds.
+type measurements struct {
+	path   string
+	kind   string // "bench" or "events"
+	values map[string]float64
+}
+
+// loadFile reads one measurement file, auto-detecting its format.
+func loadFile(path string) (*measurements, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := parseMeasurements(path, data)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseMeasurements detects the format: a bench JSON document is one
+// JSON object with a results array (a whole-file Unmarshal succeeds);
+// anything else must parse as an obs event JSONL stream with at least
+// one span event.
+func parseMeasurements(path string, data []byte) (*measurements, error) {
+	var set benchfmt.Set
+	if err := json.Unmarshal(data, &set); err == nil && len(set.Results) > 0 {
+		return &measurements{path: path, kind: "bench", values: benchValues(&set)}, nil
+	}
+	values, spans, err := eventValues(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: not bench JSON and not an event stream: %w", path, err)
+	}
+	if spans == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results and no span events", path)
+	}
+	return &measurements{path: path, kind: "events", values: values}, nil
+}
+
+// benchValues reduces a bench set to name -> best (minimum) ns/op, the
+// conventional best-of-count reading least sensitive to scheduler noise.
+// Sub-benchmarks keep their full name.
+func benchValues(set *benchfmt.Set) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range set.Results {
+		v, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if best, seen := out[r.Name]; !seen || v < best {
+			out[r.Name] = v
+		}
+	}
+	return out
+}
+
+// eventValues aggregates an obs JSONL stream: total wall nanoseconds per
+// span path.
+func eventValues(data []byte) (map[string]float64, int, error) {
+	out := make(map[string]float64)
+	spans := 0
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	for {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, spans, nil
+			}
+			return nil, 0, err
+		}
+		if e.Kind == "span" {
+			spans++
+			out[e.Path] += float64(e.Ns)
+		}
+	}
+}
+
+// delta is one metric's trajectory across the series.
+type delta struct {
+	Name   string
+	Values []float64 // by file; NaN where the metric is absent
+	Old    float64   // first file
+	New    float64   // last file
+	Rel    float64   // (New-Old)/Old
+	Gated  bool      // regression past the threshold and noise floor
+}
+
+type report struct {
+	paths  []string
+	kind   string
+	deltas []delta
+	onlyIn map[string][]string // file -> metrics present only there
+}
+
+// analyze diffs the first file of the series against the last, carrying
+// the middle values for trend display. A metric regresses when it grew
+// by more than threshold relative and its baseline is at least minNs.
+func analyze(sets []*measurements, threshold, minNs float64) *report {
+	rep := &report{kind: sets[0].kind, onlyIn: make(map[string][]string)}
+	for _, m := range sets {
+		rep.paths = append(rep.paths, m.path)
+	}
+
+	names := make(map[string]bool)
+	for _, m := range sets {
+		for name := range m.values {
+			names[name] = true
+		}
+	}
+	first, last := sets[0], sets[len(sets)-1]
+	for name := range names {
+		vo, inFirst := first.values[name]
+		vn, inLast := last.values[name]
+		switch {
+		case inFirst && inLast:
+			d := delta{Name: name, Old: vo, New: vn}
+			for _, m := range sets {
+				v, ok := m.values[name]
+				if !ok {
+					v = math.NaN()
+				}
+				d.Values = append(d.Values, v)
+			}
+			if vo > 0 {
+				d.Rel = (vn - vo) / vo
+			}
+			d.Gated = vo >= minNs && d.Rel > threshold
+			rep.deltas = append(rep.deltas, d)
+		case inFirst:
+			rep.onlyIn[first.path] = append(rep.onlyIn[first.path], name)
+		default:
+			rep.onlyIn[last.path] = append(rep.onlyIn[last.path], name)
+		}
+	}
+	sort.Slice(rep.deltas, func(i, j int) bool {
+		if rep.deltas[i].Rel != rep.deltas[j].Rel {
+			return rep.deltas[i].Rel > rep.deltas[j].Rel
+		}
+		return rep.deltas[i].Name < rep.deltas[j].Name
+	})
+	for f := range rep.onlyIn {
+		sort.Strings(rep.onlyIn[f])
+	}
+	return rep
+}
+
+func (r *report) regressions() []delta {
+	var out []delta
+	for _, d := range r.deltas {
+		if d.Gated {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func fmtNs(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return time.Duration(v).Round(time.Microsecond).String()
+}
+
+// write renders the comparison. Without -all it prints the regressions
+// plus the ten largest movers either way, which is what a human scanning
+// CI output wants; -all dumps the full table.
+func (r *report) write(w io.Writer, all bool) {
+	label := map[string]string{"bench": "benchmark ns/op (best of counts)", "events": "per-phase total ns"}[r.kind]
+	if len(r.paths) == 2 {
+		fmt.Fprintf(w, "ggstat: %s: %s -> %s\n", label, r.paths[0], r.paths[1])
+	} else {
+		fmt.Fprintf(w, "ggstat: %s: series of %d files, gating %s -> %s\n",
+			label, len(r.paths), r.paths[0], r.paths[len(r.paths)-1])
+	}
+
+	shown := r.deltas
+	if !all && len(shown) > 10 {
+		// Regressions always show; then the biggest absolute movers.
+		byMagnitude := append([]delta(nil), r.deltas...)
+		sort.Slice(byMagnitude, func(i, j int) bool {
+			return math.Abs(byMagnitude[i].Rel) > math.Abs(byMagnitude[j].Rel)
+		})
+		keep := make(map[string]bool)
+		for _, d := range r.regressions() {
+			keep[d.Name] = true
+		}
+		for _, d := range byMagnitude {
+			if len(keep) >= 10 && !keep[d.Name] {
+				continue
+			}
+			keep[d.Name] = true
+		}
+		shown = shown[:0:0]
+		for _, d := range r.deltas {
+			if keep[d.Name] {
+				shown = append(shown, d)
+			}
+		}
+		fmt.Fprintf(w, "(showing %d of %d metrics; -all for the full table)\n", len(shown), len(r.deltas))
+	}
+
+	nameW := len("metric")
+	for _, d := range shown {
+		if len(d.Name) > nameW {
+			nameW = len(d.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %12s  %12s  %8s\n", nameW, "metric", "old", "new", "delta")
+	for _, d := range shown {
+		mark := ""
+		if d.Gated {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-*s  %12s  %12s  %+7.1f%%%s\n", nameW, d.Name, fmtNs(d.Old), fmtNs(d.New), 100*d.Rel, mark)
+		if len(r.paths) > 2 {
+			vals := make([]string, len(d.Values))
+			for i, v := range d.Values {
+				vals[i] = fmtNs(v)
+			}
+			fmt.Fprintf(w, "%-*s  series: %s\n", nameW, "", strings.Join(vals, " -> "))
+		}
+	}
+	for _, path := range r.paths {
+		if only := r.onlyIn[path]; len(only) > 0 {
+			fmt.Fprintf(w, "only in %s: %s\n", path, strings.Join(only, ", "))
+		}
+	}
+	if reg := r.regressions(); len(reg) > 0 {
+		fmt.Fprintf(w, "FAIL: %d metric(s) regressed\n", len(reg))
+	} else {
+		fmt.Fprintf(w, "ok: no regressions past threshold\n")
+	}
+}

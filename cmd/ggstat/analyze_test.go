@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// eventFile builds a synthetic obs event stream with the given per-phase
+// total nanoseconds, split over a couple of span events per phase.
+func eventFile(phases map[string]int64) []byte {
+	var b bytes.Buffer
+	for path, ns := range phases {
+		half := ns / 2
+		fmt.Fprintf(&b, `{"kind":"span","name":"x","path":"%s","ns":%d}`+"\n", path, half)
+		fmt.Fprintf(&b, `{"kind":"span","name":"x","path":"%s","ns":%d}`+"\n", path, ns-half)
+	}
+	b.WriteString(`{"kind":"counter","name":"codegen.trees","value":7}` + "\n")
+	return b.Bytes()
+}
+
+func benchFile(nsOp map[string]float64) []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"goos":"linux","results":[`)
+	first := true
+	for name, v := range nsOp {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, `{"name":"%s","iterations":100,"metrics":{"ns/op":%g}}`, name, v)
+	}
+	b.WriteString(`]}`)
+	return b.Bytes()
+}
+
+func mustParse(t *testing.T, path string, data []byte) *measurements {
+	t.Helper()
+	m, err := parseMeasurements(path, data)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return m
+}
+
+// The acceptance case: a >=20% per-phase slowdown between two event
+// files is detected and gated.
+func TestEventDiffDetectsInjectedSlowdown(t *testing.T) {
+	old := mustParse(t, "old.jsonl", eventFile(map[string]int64{
+		"compile":                1_000_000,
+		"compile/codegen":        800_000,
+		"compile/codegen/select": 600_000,
+	}))
+	injected := mustParse(t, "new.jsonl", eventFile(map[string]int64{
+		"compile":                1_050_000,
+		"compile/codegen":        810_000,
+		"compile/codegen/select": 760_000, // +26.7%
+	}))
+	if old.kind != "events" {
+		t.Fatalf("kind = %q, want events", old.kind)
+	}
+
+	rep := analyze([]*measurements{old, injected}, 0.20, 50_000)
+	reg := rep.regressions()
+	if len(reg) != 1 || reg[0].Name != "compile/codegen/select" {
+		t.Fatalf("regressions = %+v, want exactly compile/codegen/select", reg)
+	}
+	var out bytes.Buffer
+	rep.write(&out, false)
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report missing REGRESSION/FAIL markers:\n%s", out.String())
+	}
+}
+
+// Below the threshold or the noise floor nothing fires, and improvements
+// never gate.
+func TestThresholdAndNoiseFloor(t *testing.T) {
+	old := mustParse(t, "a", eventFile(map[string]int64{"compile": 1_000_000, "tiny": 10_000}))
+	new_ := mustParse(t, "b", eventFile(map[string]int64{"compile": 1_100_000, "tiny": 40_000}))
+
+	// +10% on compile is under a 0.20 threshold; tiny quadrupled but sits
+	// under the 50µs floor.
+	if reg := analyze([]*measurements{old, new_}, 0.20, 50_000).regressions(); len(reg) != 0 {
+		t.Errorf("regressions = %+v, want none", reg)
+	}
+	// Drop the floor and tiny gates.
+	if reg := analyze([]*measurements{old, new_}, 0.20, 0).regressions(); len(reg) != 1 || reg[0].Name != "tiny" {
+		t.Errorf("regressions = %+v, want tiny", reg)
+	}
+	// An improvement is never a regression.
+	if reg := analyze([]*measurements{new_, old}, 0.20, 0).regressions(); len(reg) != 0 {
+		t.Errorf("improvement gated: %+v", reg)
+	}
+	// Self-diff is clean.
+	if reg := analyze([]*measurements{old, old}, 0.0, 0).regressions(); len(reg) != 0 {
+		t.Errorf("self-diff gated: %+v", reg)
+	}
+}
+
+func TestBenchDiff(t *testing.T) {
+	old := mustParse(t, "BENCH_a.json", benchFile(map[string]float64{
+		"BenchmarkE2_GG": 1_300_000, "BenchmarkE2_PCC": 650_000,
+	}))
+	new_ := mustParse(t, "BENCH_b.json", benchFile(map[string]float64{
+		"BenchmarkE2_GG": 1_900_000, "BenchmarkE2_PCC": 660_000,
+	}))
+	if old.kind != "bench" {
+		t.Fatalf("kind = %q, want bench", old.kind)
+	}
+	reg := analyze([]*measurements{old, new_}, 0.20, 50_000).regressions()
+	if len(reg) != 1 || reg[0].Name != "BenchmarkE2_GG" {
+		t.Fatalf("regressions = %+v, want BenchmarkE2_GG", reg)
+	}
+}
+
+// Best-of-count: repeated results for one benchmark reduce to the
+// minimum ns/op.
+func TestBenchBestOfCount(t *testing.T) {
+	data := []byte(`{"results":[
+		{"name":"BenchmarkX","iterations":10,"metrics":{"ns/op":500}},
+		{"name":"BenchmarkX","iterations":10,"metrics":{"ns/op":400}},
+		{"name":"BenchmarkX","iterations":10,"metrics":{"ns/op":450}}]}`)
+	m := mustParse(t, "b.json", data)
+	if got := m.values["BenchmarkX"]; got != 400 {
+		t.Errorf("best ns/op = %v, want 400", got)
+	}
+}
+
+// A series gates last against first and reports the trajectory.
+func TestSeriesMode(t *testing.T) {
+	a := mustParse(t, "1", eventFile(map[string]int64{"compile": 1_000_000}))
+	b := mustParse(t, "2", eventFile(map[string]int64{"compile": 1_050_000}))
+	c := mustParse(t, "3", eventFile(map[string]int64{"compile": 1_400_000}))
+	rep := analyze([]*measurements{a, b, c}, 0.20, 0)
+	if reg := rep.regressions(); len(reg) != 1 || reg[0].Name != "compile" {
+		t.Fatalf("regressions = %+v, want compile (first vs last)", reg)
+	}
+	var out bytes.Buffer
+	rep.write(&out, true)
+	if !strings.Contains(out.String(), "series:") {
+		t.Errorf("series report missing trajectory:\n%s", out.String())
+	}
+}
+
+// Metrics present on only one side are reported but never gate.
+func TestDisjointMetrics(t *testing.T) {
+	old := mustParse(t, "a", eventFile(map[string]int64{"compile": 1_000_000, "gone": 900_000}))
+	new_ := mustParse(t, "b", eventFile(map[string]int64{"compile": 1_000_000, "fresh": 900_000}))
+	rep := analyze([]*measurements{old, new_}, 0.20, 0)
+	if len(rep.regressions()) != 0 {
+		t.Errorf("disjoint metrics gated: %+v", rep.regressions())
+	}
+	var out bytes.Buffer
+	rep.write(&out, true)
+	for _, want := range []string{"only in a: gone", "only in b: fresh"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnrecognizedFile(t *testing.T) {
+	if _, err := parseMeasurements("x", []byte("not json at all")); err == nil {
+		t.Error("garbage parsed without error")
+	}
+	// Valid JSONL but no spans: rejected with a useful message.
+	if _, err := parseMeasurements("x", []byte(`{"kind":"counter","name":"c","value":1}`)); err == nil {
+		t.Error("span-free stream parsed without error")
+	}
+}

@@ -1,0 +1,79 @@
+// Ggstat is the benchmark/telemetry regression analyzer: it diffs two
+// (or a series of) measurement files, computes per-metric deltas with a
+// noise threshold, and exits non-zero when anything regressed — the
+// generalization of cmd/benchgate beyond the single GG/PCC ratio.
+//
+// Two file formats are understood, auto-detected per file:
+//
+//   - bench JSON: the document cmd/benchjson produces from `go test
+//     -bench` output (BENCH_*.json). The metric is ns/op per benchmark,
+//     best (minimum) across -count repetitions.
+//   - obs event JSONL: the -events stream ggcc and ggcd write. The
+//     metrics are total nanoseconds per phase path, aggregated over
+//     every span event ("compile/codegen", "compile/codegen/select", ...).
+//
+// With two files the first is the baseline and the second the
+// candidate. With more, the files are a time series (say, the BENCH_*
+// trajectory across commits): every value is printed per file and the
+// gate compares the last file against the first.
+//
+// Usage:
+//
+//	ggstat [-threshold 0.20] [-min-ns 50000] old.json new.json [more.json ...]
+//
+//	-threshold F   relative slowdown that counts as a regression
+//	               (0.20 = +20%); improvements never fail the gate
+//	-min-ns N      ignore metrics whose baseline is under N ns — tiny
+//	               phases are pure scheduling noise
+//	-all           print every metric, not only regressions and the
+//	               ten largest movers
+//
+// Exit status: 0 when no metric regressed past the threshold, 1 on
+// regression, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.20, "relative slowdown that fails the gate (0.20 = +20%)")
+		minNs     = flag.Float64("min-ns", 50000, "ignore metrics whose baseline value is below this many ns")
+		all       = flag.Bool("all", false, "print every metric, not just regressions and big movers")
+	)
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ggstat [flags] old.json new.json [more.json ...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sets := make([]*measurements, flag.NArg())
+	for i, path := range flag.Args() {
+		m, err := loadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sets[i] = m
+	}
+	for _, m := range sets[1:] {
+		if m.kind != sets[0].kind {
+			fatal(fmt.Errorf("mixed file formats: %s is %s, %s is %s",
+				flag.Arg(0), sets[0].kind, m.path, m.kind))
+		}
+	}
+
+	rep := analyze(sets, *threshold, *minNs)
+	rep.write(os.Stdout, *all)
+	if len(rep.regressions()) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ggstat:", err)
+	os.Exit(2)
+}

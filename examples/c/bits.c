@@ -1,0 +1,13 @@
+int popcount(int x) {
+	int n;
+	n = 0;
+	while (x) {
+		n += x & 1;
+		x = x >> 1;
+	}
+	return n;
+}
+
+int main() {
+	return popcount(255) + popcount(4096);
+}

@@ -1,0 +1,14 @@
+char c;
+short s;
+long total;
+
+int main() {
+	int i;
+	total = 0;
+	for (i = 0; i < 10; i++) {
+		c = i * 3;
+		s = c * 7;
+		total += s;
+	}
+	return total;
+}

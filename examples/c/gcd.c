@@ -1,0 +1,13 @@
+int gcd(int a, int b) {
+	while (b != 0) {
+		int t;
+		t = a % b;
+		a = b;
+		b = t;
+	}
+	return a;
+}
+
+int main() {
+	return gcd(1071, 462);
+}

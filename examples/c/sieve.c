@@ -1,0 +1,16 @@
+int flags[100];
+
+int main() {
+	int i, j, count;
+	count = 0;
+	for (i = 2; i < 100; i++)
+		flags[i] = 1;
+	for (i = 2; i < 100; i++) {
+		if (flags[i]) {
+			count++;
+			for (j = i + i; j < 100; j += i)
+				flags[j] = 0;
+		}
+	}
+	return count;
+}

@@ -1,0 +1,18 @@
+int a[8];
+
+int main() {
+	int i, j, t, n;
+	n = 8;
+	for (i = 0; i < n; i++)
+		a[i] = n - i;
+	for (i = 0; i < n - 1; i++) {
+		for (j = 0; j < n - 1 - i; j++) {
+			if (a[j] > a[j + 1]) {
+				t = a[j];
+				a[j] = a[j + 1];
+				a[j + 1] = t;
+			}
+		}
+	}
+	return a[0] * 100 + a[7];
+}

@@ -1,0 +1,7 @@
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 1; i <= 100; i++)
+		s += i;
+	return s - 5000;
+}

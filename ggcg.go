@@ -48,8 +48,24 @@ type ObsEvent = obs.Event
 // SimProfile is the dynamic execution profile of the simulator.
 type SimProfile = obs.SimProfile
 
+// Hist is a snapshot of an Observer or Registry histogram: power-of-two
+// buckets plus p50/p90/p99 quantile estimates.
+type Hist = obs.Hist
+
+// Registry is the long-lived metrics store behind a scrape endpoint:
+// cumulative counters, histograms with quantile estimates and per-phase
+// span aggregates, exported in the Prometheus text format via
+// WritePrometheus. Services record request metrics directly and fold
+// each request's Observer in with Merge; see cmd/ggcd for the daemon
+// built on it.
+type Registry = obs.Registry
+
 // NewObserver returns an enabled instrumentation observer.
 func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
+
+// NewRegistry returns an empty metrics registry whose exported metric
+// names are prefixed with namespace.
+func NewRegistry(namespace string) *Registry { return obs.NewRegistry(namespace) }
 
 // Config selects how a program is compiled.
 type Config struct {

@@ -74,6 +74,8 @@ type Event struct {
 	Kind    string           `json:"kind"`              // span|trace|counter|hist|coverage|simprofile
 	Name    string           `json:"name,omitempty"`    // span/counter/histogram name
 	Path    string           `json:"path,omitempty"`    // slash-joined span path
+	Ts      int64            `json:"ts,omitempty"`      // start time, ns since the observer's epoch
+	Track   int              `json:"track,omitempty"`   // worker track (0 = parent, shards count up)
 	Ns      int64            `json:"ns,omitempty"`      // span wall time
 	Bytes   int64            `json:"bytes,omitempty"`   // span allocation delta
 	Depth   int              `json:"depth,omitempty"`   // span nesting depth
@@ -81,6 +83,9 @@ type Event struct {
 	Count   int64            `json:"count,omitempty"`   // histogram observation count
 	Sum     int64            `json:"sum,omitempty"`     // histogram sum
 	Max     int64            `json:"max,omitempty"`     // histogram max
+	P50     float64          `json:"p50,omitempty"`     // histogram quantile estimates
+	P90     float64          `json:"p90,omitempty"`     //
+	P99     float64          `json:"p99,omitempty"`     //
 	Term    string           `json:"term,omitempty"`    // trace: shifted terminal
 	Prod    int              `json:"prod,omitempty"`    // trace: reduced production index
 	Rule    string           `json:"rule,omitempty"`    // trace: reduced production text
@@ -148,15 +153,26 @@ type Observer struct {
 	// span path at Shard time, so merged phase tables nest naturally.
 	prefix    string
 	baseDepth int
+
+	// epoch anchors event timestamps: span events carry their start time
+	// as nanoseconds since it, so events from a parent and all its shards
+	// share one timeline (trace export aligns tracks by it). track is this
+	// observer's worker track: 0 for a parent, unique positive ids for
+	// shards, drawn from the allocator the whole observer family shares.
+	epoch      time.Time
+	track      int
+	trackAlloc *atomic.Int64
 }
 
 // New returns an enabled Observer.
 func New(cfg Config) *Observer {
 	o := &Observer{
-		cfg:      cfg,
-		phases:   make(map[string]*PhaseStat),
-		counters: make(map[string]*atomic.Int64),
-		hists:    make(map[string]*hist),
+		cfg:        cfg,
+		phases:     make(map[string]*PhaseStat),
+		counters:   make(map[string]*atomic.Int64),
+		hists:      make(map[string]*hist),
+		epoch:      time.Now(),
+		trackAlloc: new(atomic.Int64),
 	}
 	if cfg.Events != nil {
 		o.enc = &encoder{enc: json.NewEncoder(cfg.Events)}
@@ -166,6 +182,20 @@ func New(cfg Config) *Observer {
 
 // Enabled reports whether the observer records anything.
 func (o *Observer) Enabled() bool { return o != nil }
+
+// Track returns the observer's worker track id: 0 for a parent observer,
+// a unique positive id for every shard of the same family. Span events
+// carry it so a trace export can lay concurrent workers out as separate
+// timeline tracks.
+func (o *Observer) Track() int {
+	if o == nil {
+		return 0
+	}
+	return o.track
+}
+
+// sinceEpoch is the current event timestamp (ns since the family epoch).
+func (o *Observer) sinceEpoch() int64 { return time.Since(o.epoch).Nanoseconds() }
 
 func (o *Observer) emit(e *Event) { o.enc.encode(e) }
 
@@ -243,7 +273,8 @@ func (s *Span) End() {
 	ps.Ns += ns
 	ps.Bytes += delta
 	o.mu.Unlock()
-	o.emit(&Event{Kind: "span", Name: s.name, Path: s.path, Ns: ns, Bytes: delta, Depth: s.depth})
+	o.emit(&Event{Kind: "span", Name: s.name, Path: s.path, Ns: ns, Bytes: delta, Depth: s.depth,
+		Ts: s.start.Sub(o.epoch).Nanoseconds(), Track: o.track})
 }
 
 // Phases returns the aggregated spans in first-ended order.
@@ -296,8 +327,11 @@ func (o *Observer) Counter(name string) int64 {
 
 // Hist is a snapshot of a power-of-two bucketed histogram of non-negative
 // values: bucket 0 holds zeros, bucket i holds values in [2^(i-1), 2^i).
+// P50/P90/P99 are interpolated quantile estimates (see Quantile), fixed
+// at snapshot time.
 type Hist struct {
 	Count, Sum, Max int64
+	P50, P90, P99   float64
 	Buckets         [33]int64
 }
 
@@ -363,6 +397,9 @@ func (h *hist) snapshot() *Hist {
 	for i := range h.buckets {
 		s.Buckets[i] = atomic.LoadInt64(&h.buckets[i])
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -480,6 +517,11 @@ func (o *Observer) Shard() *Observer {
 	}
 	s := New(o.cfg)
 	s.enc = o.enc
+	// Shards share the family epoch and track allocator so every worker's
+	// span timestamps land on one timeline, each on its own track.
+	s.epoch = o.epoch
+	s.trackAlloc = o.trackAlloc
+	s.track = int(o.trackAlloc.Add(1))
 	o.mu.RLock()
 	if n := len(o.stack); n > 0 {
 		s.prefix = o.stack[n-1].path + "/"
@@ -559,12 +601,13 @@ func (o *Observer) Flush() {
 	if o == nil || o.enc == nil {
 		return
 	}
+	now := o.sinceEpoch()
 	o.mu.RLock()
 	counterOrder := append([]string(nil), o.counterOrder...)
 	histOrder := append([]string(nil), o.histOrder...)
 	o.mu.RUnlock()
 	for _, name := range counterOrder {
-		o.emit(&Event{Kind: "counter", Name: name, Value: o.Counter(name)})
+		o.emit(&Event{Kind: "counter", Name: name, Value: o.Counter(name), Ts: now})
 	}
 	for _, name := range histOrder {
 		h := o.Histogram(name)
@@ -577,16 +620,17 @@ func (o *Observer) Flush() {
 				buckets[BucketLabel(i)] = n
 			}
 		}
-		o.emit(&Event{Kind: "hist", Name: name, Count: h.Count, Sum: h.Sum, Max: h.Max, Buckets: buckets})
+		o.emit(&Event{Kind: "hist", Name: name, Count: h.Count, Sum: h.Sum, Max: h.Max,
+			P50: h.P50, P90: h.P90, P99: h.P99, Buckets: buckets, Ts: now})
 	}
 	o.mu.RLock()
 	var cov *Event
 	if o.cov.universe > 0 {
-		cov = &Event{Kind: "coverage", Fired: o.cov.firedMap(), States: o.cov.stateMap()}
+		cov = &Event{Kind: "coverage", Fired: o.cov.firedMap(), States: o.cov.stateMap(), Ts: now}
 	}
 	var sim *Event
 	if o.sim.Steps > 0 {
-		sim = &Event{Kind: "simprofile", Value: o.sim.Steps,
+		sim = &Event{Kind: "simprofile", Value: o.sim.Steps, Ts: now,
 			Opcodes: copyMap(o.sim.Opcodes), Modes: copyMap(o.sim.Modes), Funcs: copyMap(o.sim.FuncSteps)}
 	}
 	o.mu.RUnlock()

@@ -1,0 +1,52 @@
+package obs
+
+// Quantile estimation over the power-of-two bucket layout: bucket 0 holds
+// zeros, bucket i holds values in [2^(i-1), 2^i). The bucket containing
+// the requested rank is located by a cumulative walk and the value is
+// interpolated linearly inside it — the standard histogram-quantile
+// estimate, accurate to the bucket's resolution (a factor of two at
+// worst, much better in practice because the recorded distributions are
+// heavily clustered). The estimate is clamped to the observed Max, which
+// the histogram tracks exactly.
+
+// Quantile returns the estimated q-quantile (0 < q < 1) of the recorded
+// distribution, e.g. Quantile(0.5) for the median. It returns 0 for an
+// empty histogram and the exact observed maximum for q >= 1.
+func (h *Hist) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return float64(h.Max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := q * float64(h.Count)
+	cum := float64(0)
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lo, hi := bucketBounds(i)
+			est := lo + (rank-cum)/float64(n)*(hi-lo)
+			if m := float64(h.Max); est > m {
+				est = m
+			}
+			return est
+		}
+		cum = next
+	}
+	return float64(h.Max)
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = float64(int64(1) << (i - 1))
+	return lo, lo * 2
+}

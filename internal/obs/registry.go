@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is the long-lived, goroutine-safe metrics store behind a
+// scrape endpoint: cumulative counters, histograms (power-of-two buckets
+// with p50/p90/p99 estimates) and phase-span aggregates that survive
+// across requests, exported in the Prometheus text exposition format.
+//
+// A service records two ways: directly (Count/Observe for request-level
+// metrics) and by folding in the per-request Observer each compilation
+// recorded into (Merge), so one scrape shows both the service's request
+// metrics and the pipeline's own instrumentation vocabulary
+// (codegen.trees, peep.* and friends) accumulated since startup.
+//
+// All methods are safe for concurrent use; recording shares the
+// Observer's lock-free hot path.
+type Registry struct {
+	ns string
+
+	// o is the cumulative store. An Observer is already goroutine-safe
+	// and knows how to merge counters, histograms, phases and coverage,
+	// so the registry is a naming-and-export layer over one.
+	o *Observer
+
+	mu   sync.Mutex
+	help map[string]string
+}
+
+// NewRegistry returns an empty registry. namespace prefixes every
+// exported metric name ("ggcd" exports ggcd_codegen_trees_total); an
+// empty namespace exports bare names.
+func NewRegistry(namespace string) *Registry {
+	return &Registry{ns: namespace, o: New(Config{}), help: make(map[string]string)}
+}
+
+// Count adds delta to a cumulative counter.
+func (r *Registry) Count(name string, delta int64) { r.o.Count(name, delta) }
+
+// Counter returns the current value of a counter.
+func (r *Registry) Counter(name string) int64 { return r.o.Counter(name) }
+
+// Observe records one value into a cumulative histogram.
+func (r *Registry) Observe(name string, v int64) { r.o.Observe(name, v) }
+
+// Histogram returns a snapshot of a histogram, or nil.
+func (r *Registry) Histogram(name string) *Hist { return r.o.Histogram(name) }
+
+// Merge folds a finished per-request Observer — its counters,
+// histograms, phase aggregates and table coverage — into the cumulative
+// store. Merge an observer at most once; merging it again double-counts.
+func (r *Registry) Merge(o *Observer) { r.o.Merge(o) }
+
+// Help sets the HELP text exported for a metric (named by its raw
+// registry name, before sanitization).
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// promName maps a registry name onto the Prometheus metric-name alphabet
+// [a-zA-Z0-9_:]: the dotted obs vocabulary becomes underscored
+// ("codegen.trees" -> "codegen_trees").
+func promName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func (r *Registry) metric(name string) string {
+	n := promName(name)
+	if r.ns == "" {
+		return n
+	}
+	return r.ns + "_" + n
+}
+
+func (r *Registry) helpFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
+}
+
+func (r *Registry) header(w io.Writer, name, metric, typ string) {
+	if h := r.helpFor(name); h != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", metric, h)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", metric, typ)
+}
+
+// WritePrometheus renders everything the registry accumulated in the
+// Prometheus text exposition format (version 0.0.4): counters as
+// <ns>_<name>_total, histograms as native histograms with cumulative
+// le="2^i-1" buckets plus p50/p90/p99 gauge estimates, phase-span
+// aggregates as labeled counter pairs, and table coverage as gauges.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	o := r.o
+
+	o.mu.RLock()
+	counterNames := append([]string(nil), o.counterOrder...)
+	histNames := append([]string(nil), o.histOrder...)
+	o.mu.RUnlock()
+
+	sort.Strings(counterNames)
+	for _, name := range counterNames {
+		m := r.metric(name) + "_total"
+		r.header(w, name, m, "counter")
+		fmt.Fprintf(w, "%s %d\n", m, o.Counter(name))
+	}
+
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := o.Histogram(name)
+		if h == nil {
+			continue
+		}
+		m := r.metric(name)
+		r.header(w, name, m, "histogram")
+		// Cumulative buckets: bucket i of the power-of-two layout holds
+		// integer values <= 2^i - 1, which is exactly an le bound. Stop
+		// at the highest populated bucket; +Inf always closes the series.
+		top := 0
+		for i, n := range h.Buckets {
+			if n > 0 {
+				top = i
+			}
+		}
+		cum := int64(0)
+		for i := 0; i <= top; i++ {
+			cum += h.Buckets[i]
+			le := int64(1)<<uint(i) - 1 // 0, 1, 3, 7, ...
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m, le, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", m, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{{"p50", h.P50}, {"p90", h.P90}, {"p99", h.P99}} {
+			g := m + "_" + q.suffix
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", g, g, q.v)
+		}
+	}
+
+	phases := o.Phases()
+	if len(phases) > 0 {
+		sort.Slice(phases, func(i, j int) bool { return phases[i].Path < phases[j].Path })
+		ns, spans := r.metric("phase.ns")+"_total", r.metric("phase.spans")+"_total"
+		r.header(w, "phase.ns", ns, "counter")
+		for _, p := range phases {
+			fmt.Fprintf(w, "%s{path=\"%s\"} %d\n", ns, promLabel(p.Path), p.Ns)
+		}
+		r.header(w, "phase.spans", spans, "counter")
+		for _, p := range phases {
+			fmt.Fprintf(w, "%s{path=\"%s\"} %d\n", spans, promLabel(p.Path), p.Count)
+		}
+	}
+
+	if prods, states := o.CoverageUniverse(); prods > 0 {
+		fired := o.ProdFireCounts()
+		delete(fired, 0) // the augmented rule is accepted, not reduced
+		visited := o.StateVisitCounts()
+		for _, g := range []struct {
+			name string
+			v    int
+		}{
+			{"table.productions_fired", len(fired)},
+			{"table.productions_total", prods},
+			{"table.states_visited", len(visited)},
+			{"table.states_total", states},
+		} {
+			m := r.metric(g.name)
+			r.header(w, g.name, m, "gauge")
+			fmt.Fprintf(w, "%s %d\n", m, g.v)
+		}
+	}
+}

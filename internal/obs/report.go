@@ -73,7 +73,8 @@ func (o *Observer) writeHists(w io.Writer) {
 		if h.Count > 0 {
 			mean = float64(h.Sum) / float64(h.Count)
 		}
-		fmt.Fprintf(w, "  %-40s n=%d mean=%.1f max=%d\n", name, h.Count, mean, h.Max)
+		fmt.Fprintf(w, "  %-40s n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%d\n",
+			name, h.Count, mean, h.P50, h.P90, h.P99, h.Max)
 		for i, n := range h.Buckets {
 			if n > 0 {
 				fmt.Fprintf(w, "    %12s  %d\n", BucketLabel(i), n)

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// Shard and Merge must stay race-free while a trace sink is live on the
+// parent: the parent keeps rendering matcher actions into its sink while
+// workers record spans, counters and their own trace actions on private
+// shards. Sinks are deliberately not inherited — a sink typically wraps
+// one io.Writer that concurrent workers would interleave — so the shards'
+// actions must not reach the parent's sink.
+func TestShardMergeWithActiveTraceSink(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Config{Events: &syncWriter{w: &buf}})
+
+	var sinkMu sync.Mutex
+	var sunk []TraceEvent
+	o.SetTraceSink(func(e TraceEvent) {
+		sinkMu.Lock()
+		sunk = append(sunk, e)
+		sinkMu.Unlock()
+	})
+
+	const workers, perWorker = 4, 200
+	root := o.Start("compile")
+	shards := make([]*Observer, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shards[w] = o.Shard()
+		if shards[w].WantsTrace() {
+			t.Error("shard inherited the parent's trace sink")
+		}
+		wg.Add(1)
+		go func(s *Observer) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := s.Start("unit")
+				s.Count("work", 1)
+				// Shard-side actions go nowhere: no sink, no TraceEvents.
+				s.Trace(TraceEvent{Kind: "shift", Term: "con.l"})
+				sp.End()
+			}
+		}(shards[w])
+		// The parent's own actions race against the workers above.
+		o.Trace(TraceEvent{Kind: "reduce", Prod: w, Rule: "reg.l : con.l"})
+	}
+	wg.Wait()
+	root.End()
+	for _, s := range shards {
+		o.Merge(s)
+	}
+
+	sinkMu.Lock()
+	n := len(sunk)
+	sinkMu.Unlock()
+	if n != workers {
+		t.Errorf("sink saw %d actions, want %d (parent only)", n, workers)
+	}
+	if got := o.Counter("work"); got != workers*perWorker {
+		t.Errorf("merged counter = %d, want %d", got, workers*perWorker)
+	}
+	dec := json.NewDecoder(&buf)
+	spans := 0
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("event stream corrupted: %v", err)
+		}
+		if e.Kind == "span" && e.Name == "unit" {
+			spans++
+			if e.Track == 0 {
+				t.Fatal("shard span carries the parent's track 0")
+			}
+		}
+	}
+	if spans != workers*perWorker {
+		t.Errorf("decoded %d unit spans, want %d", spans, workers*perWorker)
+	}
+}
+
+// Every shard of one family gets a distinct positive track id; the parent
+// keeps track 0. Shards of shards draw from the same allocator.
+func TestShardTrackAllocation(t *testing.T) {
+	o := New(Config{})
+	if o.Track() != 0 {
+		t.Fatalf("parent track = %d, want 0", o.Track())
+	}
+	seen := map[int]bool{0: true}
+	for i := 0; i < 4; i++ {
+		s := o.Shard()
+		if s.Track() <= 0 {
+			t.Fatalf("shard track = %d, want positive", s.Track())
+		}
+		if seen[s.Track()] {
+			t.Fatalf("track %d allocated twice", s.Track())
+		}
+		seen[s.Track()] = true
+		sub := s.Shard()
+		if seen[sub.Track()] {
+			t.Fatalf("nested shard reused track %d", sub.Track())
+		}
+		seen[sub.Track()] = true
+	}
+	var nilObs *Observer
+	if nilObs.Track() != 0 {
+		t.Error("nil observer track is not 0")
+	}
+}
+
+// Flush is safe to call twice: the second call re-snapshots current totals
+// and the combined stream stays decodable line by line.
+func TestFlushTwiceStreamStaysDecodable(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Config{Events: &buf})
+	o.Count("items", 3)
+	o.Observe("depth", 4)
+	o.Start("compile").End()
+
+	o.Flush()
+	o.Count("items", 2)
+	o.Flush()
+
+	dec := json.NewDecoder(&buf)
+	var counterVals []int64
+	hists := 0
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("stream corrupted after double flush: %v", err)
+		}
+		switch {
+		case e.Kind == "counter" && e.Name == "items":
+			counterVals = append(counterVals, e.Value)
+		case e.Kind == "hist" && e.Name == "depth":
+			hists++
+			if e.P50 <= 0 || e.P99 < e.P50 {
+				t.Errorf("hist quantiles not snapshotted: p50=%v p99=%v", e.P50, e.P99)
+			}
+		}
+	}
+	if len(counterVals) != 2 || counterVals[0] != 3 || counterVals[1] != 5 {
+		t.Errorf("counter snapshots = %v, want [3 5]", counterVals)
+	}
+	if hists != 2 {
+		t.Errorf("hist snapshots = %d, want 2", hists)
+	}
+
+	// A nil observer and an observer without an events sink flush as no-ops,
+	// twice included.
+	var nilObs *Observer
+	nilObs.Flush()
+	nilObs.Flush()
+	p := New(Config{})
+	p.Flush()
+	p.Flush()
+}
+
+// Quantile estimates interpolate within power-of-two buckets and are exact
+// at the endpoints the snapshot can know: never negative, never above Max,
+// monotone in q.
+func TestHistQuantile(t *testing.T) {
+	var empty Hist
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+
+	o := New(Config{})
+	for v := int64(1); v <= 100; v++ {
+		o.Observe("v", v)
+	}
+	h := o.Histogram("v")
+	if h.Quantile(1.0) != float64(h.Max) {
+		t.Errorf("q=1 = %v, want max %d", h.Quantile(1.0), h.Max)
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		est := h.Quantile(q)
+		if est < prev {
+			t.Errorf("quantile not monotone: q=%v -> %v after %v", q, est, prev)
+		}
+		if est < 0 || est > float64(h.Max) {
+			t.Errorf("q=%v estimate %v outside [0, %d]", q, est, h.Max)
+		}
+		prev = est
+	}
+	// The median of 1..100 is ~50; bucket interpolation should land the
+	// estimate within the surrounding power-of-two bucket [32, 64).
+	if p50 := h.Quantile(0.5); p50 < 32 || p50 >= 64 {
+		t.Errorf("p50 = %v, want within [32, 64)", p50)
+	}
+
+	// All-zero observations stay in bucket 0 and estimate 0 everywhere.
+	z := New(Config{})
+	for i := 0; i < 5; i++ {
+		z.Observe("z", 0)
+	}
+	hz := z.Histogram("z")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := hz.Quantile(q); got != 0 {
+			t.Errorf("all-zero q=%v = %v, want 0", q, got)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package traceexport converts the obs JSONL event stream into the
+// Chrome trace_event JSON format, which ui.perfetto.dev and
+// chrome://tracing render as an interactive timeline.
+//
+// The mapping (see DESIGN.md, "Telemetry export"):
+//
+//   - every span event becomes a complete ("ph":"X") duration event,
+//     placed on the thread track of the worker that recorded it: the
+//     obs track id (0 for the parent observer, one per Shard) maps to
+//     tid, so an 8-worker CompileBatch renders as eight parallel tracks
+//     of nested phase spans;
+//   - thread_name metadata events label track 0 "main" and track N
+//     "worker N", and thread_sort_index keeps them in worker order;
+//   - allocation deltas on spans accumulate into a per-track "allocated
+//     bytes" counter ("ph":"C") track, sampled at every span end;
+//   - the coverage snapshot Flush emits becomes two counter samples,
+//     "productions fired" and "states visited", at the flush timestamp;
+//   - counter snapshots ("kind":"counter") become one counter sample
+//     each at the flush timestamp, so cumulative totals (trees, shifts,
+//     spills ...) are visible on the timeline's right edge.
+//
+// Timestamps are the event stream's nanoseconds-since-epoch converted to
+// the format's microseconds; sub-microsecond spans keep their fractional
+// part.
+package traceexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ggcg/internal/obs"
+)
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// document is the JSON-object flavor of the format ({"traceEvents":[...]}),
+// which both Perfetto and chrome://tracing accept.
+type document struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const pid = 1 // one process: the compiler
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// Convert reads an obs JSONL event stream and writes one trace_event
+// JSON document. Unknown event kinds are ignored, so streams from newer
+// producers still convert. It is an error for the stream to contain no
+// span events — an empty timeline almost always means the producer was
+// not configured with an Events sink.
+func Convert(r io.Reader, w io.Writer) error {
+	var doc document
+	dec := json.NewDecoder(r)
+
+	tracks := make(map[int]bool)
+	allocBy := make(map[int]int64) // track -> cumulative span alloc bytes
+	spans := 0
+	var lastTs float64
+
+	for {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("traceexport: decoding event stream: %w", err)
+		}
+		if ts := usec(e.Ts); ts > lastTs {
+			lastTs = ts
+		}
+		switch e.Kind {
+		case "span":
+			spans++
+			tracks[e.Track] = true
+			args := map[string]any{"path": e.Path}
+			if e.Bytes != 0 {
+				args["bytes"] = e.Bytes
+			}
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: e.Name, Ph: "X", Ts: usec(e.Ts), Dur: usec(e.Ns),
+				Pid: pid, Tid: e.Track, Args: args,
+			})
+			if e.Bytes != 0 {
+				allocBy[e.Track] += e.Bytes
+				doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+					Name: "allocated bytes", Ph: "C", Ts: usec(e.Ts + e.Ns),
+					Pid: pid, Tid: e.Track,
+					Args: map[string]any{"bytes": allocBy[e.Track]},
+				})
+			}
+		case "counter":
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: e.Name, Ph: "C", Ts: usec(e.Ts), Pid: pid,
+				Args: map[string]any{"value": e.Value},
+			})
+		case "coverage":
+			doc.TraceEvents = append(doc.TraceEvents,
+				traceEvent{Name: "table coverage", Ph: "C", Ts: usec(e.Ts), Pid: pid,
+					Args: map[string]any{
+						"productions fired": len(e.Fired),
+						"states visited":    len(e.States),
+					}})
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("traceexport: no span events in stream (was the producer configured with an Events sink?)")
+	}
+
+	// Name the worker tracks. Metadata events carry no timestamp; sort
+	// indices pin main above the workers.
+	ids := make([]int, 0, len(tracks))
+	for id := range tracks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		name := "main"
+		if id != 0 {
+			name = fmt.Sprintf("worker %d", id)
+		}
+		doc.TraceEvents = append(doc.TraceEvents,
+			traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+				Args: map[string]any{"name": name}},
+			traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: id,
+				Args: map[string]any{"sort_index": id}},
+		)
+	}
+
+	doc.DisplayTimeUnit = "ms"
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&doc); err != nil {
+		return fmt.Errorf("traceexport: writing trace: %w", err)
+	}
+	return nil
+}
+
+// Tracks reports the distinct worker tracks present in a JSONL event
+// stream — a cheap structural check for tests and tools.
+func Tracks(r io.Reader) (map[int]int, error) {
+	dec := json.NewDecoder(r)
+	tracks := make(map[int]int)
+	for {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return tracks, nil
+			}
+			return nil, err
+		}
+		if e.Kind == "span" {
+			tracks[e.Track]++
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package traceexport
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"ggcg/internal/obs"
+)
+
+// decoded mirrors the output document for assertions.
+type decoded struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// A parent observer with concurrent shards must export as one process
+// with one track per worker, nested phase spans, counter samples and
+// track-name metadata — the shape Perfetto renders as a real timeline.
+func TestConvertShardedTimeline(t *testing.T) {
+	var events bytes.Buffer
+	o := obs.New(obs.Config{Events: &syncWriter{w: &events}})
+	root := o.Start("batch")
+
+	const workers = 3
+	var wg sync.WaitGroup
+	shards := make([]*obs.Observer, workers)
+	for w := 0; w < workers; w++ {
+		shards[w] = o.Shard()
+		wg.Add(1)
+		go func(s *obs.Observer) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				sp := s.Start("compile")
+				inner := s.Start("select")
+				s.Count("codegen.trees", 1)
+				inner.End()
+				sp.End()
+			}
+		}(shards[w])
+	}
+	wg.Wait()
+	root.End()
+	for _, s := range shards {
+		o.Merge(s)
+	}
+	o.Flush()
+
+	var trace bytes.Buffer
+	if err := Convert(bytes.NewReader(events.Bytes()), &trace); err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	var doc decoded
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+
+	tids := make(map[int]int)
+	names := make(map[string]bool)
+	counters := 0
+	meta := make(map[int]string)
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			tids[e.Tid]++
+			names[e.Name] = true
+			if e.Pid != 1 {
+				t.Errorf("span %q on pid %d, want 1", e.Name, e.Pid)
+			}
+		case "C":
+			counters++
+		case "M":
+			if e.Name == "thread_name" {
+				meta[e.Tid], _ = e.Args["name"].(string)
+			}
+		}
+	}
+	if len(tids) < workers+1 {
+		t.Errorf("distinct tracks = %d, want >= %d (tids %v)", len(tids), workers+1, tids)
+	}
+	for _, want := range []string{"batch", "compile", "select"} {
+		if !names[want] {
+			t.Errorf("missing span %q in trace (have %v)", want, names)
+		}
+	}
+	if counters == 0 {
+		t.Error("no counter samples in trace")
+	}
+	if meta[0] != "main" {
+		t.Errorf("track 0 named %q, want main", meta[0])
+	}
+	for tid, name := range meta {
+		if tid != 0 && !strings.HasPrefix(name, "worker ") {
+			t.Errorf("track %d named %q, want worker prefix", tid, name)
+		}
+	}
+
+	// Nesting: on some worker track, a compile span must contain a
+	// select span (same tid, start <= start, end >= end).
+	nested := false
+	for _, outer := range doc.TraceEvents {
+		if outer.Ph != "X" || outer.Name != "compile" {
+			continue
+		}
+		for _, inner := range doc.TraceEvents {
+			if inner.Ph != "X" || inner.Name != "select" || inner.Tid != outer.Tid {
+				continue
+			}
+			if inner.Ts >= outer.Ts && inner.Ts+inner.Dur <= outer.Ts+outer.Dur+1e-6 {
+				nested = true
+			}
+		}
+	}
+	if !nested {
+		t.Error("no select span nested inside a compile span on one track")
+	}
+}
+
+// Allocation deltas become a cumulative per-track counter series.
+func TestConvertAllocCounter(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"kind":"span","name":"a","path":"a","ts":1000,"ns":500,"bytes":64}`,
+		`{"kind":"span","name":"b","path":"b","ts":2000,"ns":500,"bytes":32}`,
+	}, "\n")
+	var trace bytes.Buffer
+	if err := Convert(strings.NewReader(stream), &trace); err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	var doc decoded
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var samples []float64
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "C" && e.Name == "allocated bytes" {
+			v, _ := e.Args["bytes"].(float64)
+			samples = append(samples, v)
+		}
+	}
+	if len(samples) != 2 || samples[0] != 64 || samples[1] != 96 {
+		t.Errorf("alloc counter samples = %v, want [64 96]", samples)
+	}
+}
+
+func TestConvertEmptyStreamFails(t *testing.T) {
+	var trace bytes.Buffer
+	if err := Convert(strings.NewReader(""), &trace); err == nil {
+		t.Fatal("Convert of empty stream succeeded, want error")
+	}
+	// Counters alone are not a timeline either.
+	if err := Convert(strings.NewReader(`{"kind":"counter","name":"x","value":1}`), &trace); err == nil {
+		t.Fatal("Convert of span-free stream succeeded, want error")
+	}
+}
+
+func TestTracks(t *testing.T) {
+	stream := `{"kind":"span","name":"a","track":1}
+{"kind":"span","name":"b","track":2}
+{"kind":"span","name":"c","track":1}
+{"kind":"counter","name":"x"}`
+	got, err := Tracks(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("Tracks = %v, want map[1:2 2:1]", got)
+	}
+}
+
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
