@@ -550,3 +550,42 @@ func BenchmarkPeepholeOptimizer(b *testing.B) {
 		peep.Optimize(res.Asm)
 	}
 }
+
+// The compile cache's amortization claim: a warm-cache repeat of an
+// identical compilation must be at least an order of magnitude faster
+// than the cold compile it replaces (it is a hash plus a map lookup).
+// cold recompiles through a fresh cache every iteration; warm serves
+// every iteration from one primed cache. The differential guards in
+// cache_test.go prove the two return byte-identical output.
+func BenchmarkCompileCached(b *testing.B) {
+	src := corpus.Large(40)
+	if _, err := vax.Tables(); err != nil { // exclude the one-time table build
+		b.Fatal(err)
+	}
+	if _, err := vax.TableID(); err != nil { // and the one-time identity hash
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Compile(src, Config{Cache: NewCache(CacheConfig{})}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := NewCache(CacheConfig{})
+		if _, err := Compile(src, Config{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := Compile(src, Config{Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !out.Cached {
+				b.Fatal("warm iteration missed the cache")
+			}
+		}
+	})
+}

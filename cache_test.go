@@ -1,0 +1,199 @@
+package ggcg
+
+// Differential and concurrency guards for the compile cache: whatever
+// the cache does, its observable output must be byte-identical to an
+// uncached compile, batch error reporting must not change, and duplicate
+// work must actually collapse.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exampleSources loads the examples/c/ correctness corpus.
+func exampleSources(t testing.TB) map[string]string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join("examples", "c", "*.c"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("examples/c corpus: %v (found %d files)", err, len(names))
+	}
+	srcs := make(map[string]string, len(names))
+	for _, n := range names {
+		data, err := os.ReadFile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[filepath.Base(n)] = string(data)
+	}
+	return srcs
+}
+
+// A cached compile must be byte-identical to a fresh one, across every
+// generator configuration, and the second request must be a hit.
+func TestCompileCachedMatchesUncached(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Peephole: true},
+		{NoReverseOps: true},
+		{Baseline: true},
+		{Baseline: true, Peephole: true},
+	} {
+		cache := NewCache(CacheConfig{})
+		for name, src := range exampleSources(t) {
+			fresh, err := Compile(src, cfg)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, cfg, err)
+			}
+			ccfg := cfg
+			ccfg.Cache = cache
+			first, err := Compile(src, ccfg)
+			if err != nil {
+				t.Fatalf("%s %+v cached: %v", name, cfg, err)
+			}
+			second, err := Compile(src, ccfg)
+			if err != nil {
+				t.Fatalf("%s %+v cached repeat: %v", name, cfg, err)
+			}
+			if first.Cached || !second.Cached {
+				t.Errorf("%s %+v: Cached = %v, %v; want false, true", name, cfg, first.Cached, second.Cached)
+			}
+			if first.Asm != fresh.Asm || second.Asm != fresh.Asm {
+				t.Errorf("%s %+v: cached output differs from fresh compile", name, cfg)
+			}
+			if first.Stats != fresh.Stats || second.Stats != fresh.Stats {
+				t.Errorf("%s %+v: cached stats differ: fresh %+v, first %+v, second %+v",
+					name, cfg, fresh.Stats, first.Stats, second.Stats)
+			}
+		}
+	}
+}
+
+// A batch full of duplicate units compiles each distinct unit exactly
+// once and stays byte-identical to an uncached batch over examples/c/.
+func TestCompileBatchCachedDifferential(t *testing.T) {
+	var srcs []string
+	for _, src := range exampleSources(t) {
+		srcs = append(srcs, src, src, src) // every unit in triplicate
+	}
+	unique := len(srcs) / 3
+
+	plain, err := CompileBatch(srcs, BatchConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(CacheConfig{})
+	cached, err := CompileBatch(srcs, BatchConfig{Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range srcs {
+		if cached[i].Asm != plain[i].Asm {
+			t.Errorf("unit %d: cached batch output differs from uncached", i)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != int64(unique) {
+		t.Errorf("misses = %d, want %d (one compile per distinct unit)", st.Misses, unique)
+	}
+	if want := int64(len(srcs) - unique); st.Hits != want {
+		t.Errorf("hits = %d, want %d", st.Hits, want)
+	}
+
+	// A second identical batch through the same cache is all hits.
+	again, err := CompileBatch(srcs, BatchConfig{Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range srcs {
+		if !again[i].Cached || again[i].Asm != plain[i].Asm {
+			t.Errorf("unit %d of warm batch: Cached=%v, identical=%v", i, again[i].Cached, again[i].Asm == plain[i].Asm)
+		}
+	}
+	if st := cache.Stats(); st.Misses != int64(unique) {
+		t.Errorf("warm batch recompiled: misses = %d, want still %d", st.Misses, unique)
+	}
+}
+
+// Different configurations must never share an entry, even through one
+// shared cache.
+func TestCacheSeparatesConfigurations(t *testing.T) {
+	srcs := exampleSources(t)
+	src := srcs["gcd.c"]
+	if src == "" {
+		t.Fatal("gcd.c missing from examples/c")
+	}
+	cache := NewCache(CacheConfig{})
+	plainFresh, err := Compile(src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peepFresh, err := Compile(src, Config{Peephole: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainFresh.Asm == peepFresh.Asm {
+		t.Skip("peephole is a no-op on this input; separation unobservable")
+	}
+	for i := 0; i < 2; i++ {
+		plain, err := Compile(src, Config{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peep, err := Compile(src, Config{Peephole: true, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Asm != plainFresh.Asm || peep.Asm != peepFresh.Asm {
+			t.Fatalf("round %d: configurations cross-contaminated through the cache", i)
+		}
+	}
+	// Same source under two scopes occupies two entries.
+	scoped := NewCache(CacheConfig{})
+	for _, scope := range []string{"text", "json"} {
+		if _, err := Compile(src, Config{Cache: scoped, CacheScope: scope}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := scoped.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("scoped stats = %+v, want 2 misses, 0 hits", st)
+	}
+}
+
+// Compile errors pass through the cache uncached, and a batch with
+// failing duplicate units reports the same first error either way.
+func TestCacheBatchFirstErrorParity(t *testing.T) {
+	good := `int main() { return 7; }`
+	bad := `int main() { return x; }` // undeclared identifier
+	srcs := []string{good, bad, bad, good, bad}
+
+	_, plainErr := CompileBatch(srcs, BatchConfig{Workers: 4})
+	if plainErr == nil {
+		t.Fatal("uncached batch of bad units succeeded")
+	}
+	cache := NewCache(CacheConfig{})
+	_, cachedErr := CompileBatch(srcs, BatchConfig{Workers: 4, Cache: cache})
+	if cachedErr == nil {
+		t.Fatal("cached batch of bad units succeeded")
+	}
+	if plainErr.Error() != cachedErr.Error() {
+		t.Errorf("first-error parity broken:\nuncached: %v\ncached:   %v", plainErr, cachedErr)
+	}
+	var be *BatchError
+	if !errors.As(cachedErr, &be) || len(be.Failed) != 3 {
+		t.Fatalf("cached batch error = %#v, want 3 failed units", cachedErr)
+	}
+	if st := cache.Stats(); st.Entries != 1 {
+		t.Errorf("cache holds %d entries, want 1 (failures must not be stored)", st.Entries)
+	}
+	// Trace bypasses the cache entirely rather than replaying a listing.
+	var sb strings.Builder
+	if _, err := Compile(good, Config{Cache: cache, Trace: &sb}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() == 0 {
+		t.Error("trace produced no listing under an attached cache")
+	}
+}

@@ -24,6 +24,10 @@
 //	              (single input only)
 //	-stats        print code-generation statistics (and, for a batch,
 //	              aggregate throughput)
+//	-cache        serve duplicate units from a content-addressed
+//	              compile-result cache: in a batch, identical units
+//	              compile once (concurrent duplicates coalesce onto a
+//	              single compile); -stats adds a hit-rate line
 //	-profile      print the instrumentation report (phase spans, counters,
 //	              histograms, coverage, execution profile) to stderr
 //	-coverage     print machine-description table coverage (productions
@@ -66,6 +70,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print code-generation statistics")
 		profile   = flag.Bool("profile", false, "print the instrumentation report to stderr")
 		coverage  = flag.Bool("coverage", false, "print table coverage (productions fired, states visited)")
+		useCache  = flag.Bool("cache", false, "serve duplicate units from a compile-result cache (hit rate reported by -stats)")
 		events    = flag.String("events", "", "write JSONL instrumentation events to `file`")
 		traceFile = flag.String("tracefile", "", "write a Chrome/Perfetto trace_event timeline to `file`")
 		allocs    = flag.Bool("allocs", false, "measure per-span heap allocation deltas (adds counter tracks to -tracefile; process-global, so parallel workers attribute each other's allocations)")
@@ -80,7 +85,7 @@ func main() {
 		outFile: *outFile, jobs: *jobs, baseline: *baseline, optimize: *optimize,
 		noReverse: *noReverse, trace: *trace, run: *run, stats: *stats,
 		profile: *profile, coverage: *coverage, events: *events, traceFile: *traceFile,
-		allocs: *allocs,
+		allocs: *allocs, cache: *useCache,
 	}
 	if err := compile(opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "ggcc:", err)
@@ -94,6 +99,7 @@ type options struct {
 	baseline, optimize, noReverse bool
 	trace, run, stats             bool
 	profile, coverage, allocs     bool
+	cache                         bool
 	events, traceFile             string
 }
 
@@ -173,6 +179,14 @@ func compile(opts options, files []string) (err error) {
 	if opts.trace {
 		cfg.Trace = os.Stderr
 	}
+	var cache *ggcg.Cache
+	if opts.cache {
+		// The observer (when any instrumentation flag is set) receives
+		// the cache counters alongside everything else; the -stats hit
+		// rate below reads the cache's own snapshot either way.
+		cache = ggcg.NewCache(ggcg.CacheConfig{Metrics: o})
+		cfg.Cache = cache
+	}
 
 	var outs []*ggcg.Compiled
 	var elapsed time.Duration
@@ -215,6 +229,15 @@ func compile(opts options, files []string) (err error) {
 			fmt.Fprintf(os.Stderr, "batch: %d units in %v with %d workers: %.0f units/sec, %.0f trees/sec\n",
 				len(outs), elapsed.Round(time.Microsecond), batchWorkers(opts.jobs, len(outs)),
 				float64(len(outs))/secs, float64(agg.Trees)/secs)
+		}
+		if cache != nil {
+			st := cache.Stats()
+			rate := 0.0
+			if total := st.Hits + st.Misses; total > 0 {
+				rate = 100 * float64(st.Hits) / float64(total)
+			}
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d coalesced, %d evictions (%.0f%% hit rate)\n",
+				st.Hits, st.Misses, st.Coalesced, st.Evictions, rate)
 		}
 	}
 

@@ -11,7 +11,12 @@
 //	                     Query: peephole=1, baseline=1, noreverse=1,
 //	                     workers=N (per-unit function parallelism),
 //	                     format=json (JSON response with stats and the
-//	                     request's span events instead of bare assembly)
+//	                     request's span events instead of bare assembly).
+//	                     With the compile cache enabled (the default),
+//	                     repeated identical requests are served from a
+//	                     content-addressed store — concurrent duplicates
+//	                     coalesce onto one compile — and each response
+//	                     carries an X-GGCD-Cache: hit|miss header.
 //	GET  /metrics        Prometheus text exposition: cumulative request
 //	                     and pipeline counters, latency histograms with
 //	                     p50/p90/p99, per-phase span aggregates, table
@@ -23,6 +28,7 @@
 // Usage:
 //
 //	ggcd [-addr :8421] [-timeout 10s] [-drain 5s] [-max-source 1048576]
+//	     [-cache-entries 4096] [-cache-bytes 67108864]
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: listeners close,
 // in-flight requests get -drain to finish.
@@ -43,10 +49,12 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8421", "listen address")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request compile timeout")
-		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
-		maxSource = flag.Int64("max-source", 1<<20, "maximum request body size in bytes")
+		addr         = flag.String("addr", ":8421", "listen address")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-request compile timeout")
+		drain        = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		maxSource    = flag.Int64("max-source", 1<<20, "maximum request body size in bytes")
+		cacheEntries = flag.Int("cache-entries", 4096, "compile cache entry bound (0 disables the cache)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "compile cache byte budget")
 	)
 	flag.Parse()
 
@@ -59,7 +67,15 @@ func main() {
 	}
 	log.Printf("ggcd: tables built in %v", time.Since(start).Round(time.Millisecond))
 
-	srv := newServer(serverConfig{Timeout: *timeout, MaxSource: *maxSource})
+	srv := newServer(serverConfig{
+		Timeout: *timeout, MaxSource: *maxSource,
+		CacheEntries: *cacheEntries, CacheBytes: *cacheBytes,
+	})
+	if *cacheEntries > 0 {
+		log.Printf("ggcd: compile cache: %d entries / %d bytes", *cacheEntries, *cacheBytes)
+	} else {
+		log.Printf("ggcd: compile cache disabled")
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

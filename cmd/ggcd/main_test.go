@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -189,5 +190,130 @@ func TestCompileTimeout(t *testing.T) {
 	}
 	if got := s.reg.Counter("timeouts"); got != 1 {
 		t.Errorf("timeouts counter = %d, want 1", got)
+	}
+}
+
+func newCachedTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(serverConfig{Timeout: 30 * time.Second, CacheEntries: 64})
+	ts := httptest.NewServer(s.mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postProg posts one compile request and returns the response body and
+// the X-GGCD-Cache header.
+func postProg(t *testing.T, url, body string) (asm, cacheState string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	return string(b), resp.Header.Get("X-GGCD-Cache")
+}
+
+// Sequential identical requests: first misses, the rest hit, responses
+// stay byte-identical, and the registry exports the cache series.
+func TestCompileCacheHeader(t *testing.T) {
+	s, ts := newCachedTestServer(t)
+	first, state := postProg(t, ts.URL+"/compile", prog)
+	if state != "miss" {
+		t.Errorf("first request X-GGCD-Cache = %q, want miss", state)
+	}
+	second, state := postProg(t, ts.URL+"/compile", prog)
+	if state != "hit" {
+		t.Errorf("second request X-GGCD-Cache = %q, want hit", state)
+	}
+	if first != second {
+		t.Error("cached response differs from fresh response")
+	}
+	// A different configuration of the same source is its own entry.
+	if _, state := postProg(t, ts.URL+"/compile?peephole=1", prog); state != "miss" {
+		t.Errorf("peephole variant X-GGCD-Cache = %q, want miss", state)
+	}
+	// So is a different response format (the events differ).
+	if _, state := postProg(t, ts.URL+"/compile?format=json", prog); state != "miss" {
+		t.Errorf("json variant X-GGCD-Cache = %q, want miss", state)
+	}
+	if hits, misses := s.reg.Counter("cache.hits"), s.reg.Counter("cache.misses"); hits != 1 || misses != 3 {
+		t.Errorf("cache.hits=%d cache.misses=%d, want 1 and 3", hits, misses)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"ggcd_cache_hits_total 1",
+		"ggcd_cache_misses_total 3",
+		"ggcd_cache_evictions_total 0",
+		"ggcd_cache_inflight_coalesced_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// The CI smoke's property, under the race detector: N concurrent
+// identical requests produce exactly one miss — the singleflight leader
+// — and N-1 hits, all byte-identical.
+func TestCompileCacheCoalescing(t *testing.T) {
+	_, ts := newCachedTestServer(t)
+	const n = 8
+	asms := make([]string, n)
+	states := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(prog))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, b)
+				return
+			}
+			asms[i] = string(b)
+			states[i] = resp.Header.Get("X-GGCD-Cache")
+		}(i)
+	}
+	wg.Wait()
+	misses, hits := 0, 0
+	for i := 0; i < n; i++ {
+		switch states[i] {
+		case "miss":
+			misses++
+		case "hit":
+			hits++
+		default:
+			t.Errorf("request %d: X-GGCD-Cache = %q", i, states[i])
+		}
+		if asms[i] != asms[0] {
+			t.Errorf("request %d: response differs from request 0", i)
+		}
+	}
+	if misses != 1 || hits != n-1 {
+		t.Errorf("%d misses and %d hits, want exactly 1 and %d", misses, hits, n-1)
+	}
+}
+
+// A server without a cache must not advertise one.
+func TestNoCacheNoHeader(t *testing.T) {
+	_, ts := newTestServer(t)
+	if _, state := postProg(t, ts.URL+"/compile", prog); state != "" {
+		t.Errorf("X-GGCD-Cache = %q on a cacheless server, want absent", state)
 	}
 }

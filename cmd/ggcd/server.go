@@ -24,13 +24,21 @@ type serverConfig struct {
 
 	// MaxSource caps the request body size.
 	MaxSource int64
+
+	// CacheEntries and CacheBytes bound the compile-result cache.
+	// CacheEntries <= 0 disables caching entirely; CacheBytes <= 0 with
+	// caching enabled uses the compcache default byte budget.
+	CacheEntries int
+	CacheBytes   int64
 }
 
-// server is the daemon's handler set plus its cumulative registry.
+// server is the daemon's handler set plus its cumulative registry and
+// (when enabled) the shared compile-result cache.
 type server struct {
-	cfg serverConfig
-	reg *ggcg.Registry
-	mux *http.ServeMux
+	cfg   serverConfig
+	reg   *ggcg.Registry
+	cache *ggcg.Cache
+	mux   *http.ServeMux
 }
 
 // compileResponse is the format=json response body.
@@ -54,6 +62,22 @@ func newServer(cfg serverConfig) *server {
 	s.reg.Help("compile.ns", "wall time per compile request, ns")
 	s.reg.Help("source.bytes", "request source size, bytes")
 	s.reg.Help("asm.lines", "assembly lines per successful request")
+	if cfg.CacheEntries > 0 {
+		s.cache = ggcg.NewCache(ggcg.CacheConfig{
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheBytes,
+			Metrics:    s.reg,
+		})
+		s.reg.Help("cache.hits", "requests served from the compile cache (stored or coalesced)")
+		s.reg.Help("cache.misses", "requests that compiled fresh")
+		s.reg.Help("cache.evictions", "cache entries dropped by the LRU bounds")
+		s.reg.Help("cache.inflight_coalesced", "requests that waited on an identical in-flight compile")
+		// Pre-register the series at zero so a scrape shows them before
+		// the first request, and a smoke test can grep them reliably.
+		for _, name := range []string{"cache.hits", "cache.misses", "cache.evictions", "cache.inflight_coalesced"} {
+			s.reg.Count(name, 0)
+		}
+	}
 
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -69,10 +93,15 @@ func newServer(cfg serverConfig) *server {
 	// service health next to the runtime's memstats. Publish panics on a
 	// duplicate name, and tests construct more than one server, so only
 	// the first instance claims the names.
-	for name, get := range map[string]func() int64{
+	vars := map[string]func() int64{
 		"ggcd.requests": func() int64 { return s.reg.Counter("requests") },
 		"ggcd.errors":   func() int64 { return s.reg.Counter("errors") },
-	} {
+	}
+	if s.cache != nil {
+		vars["ggcd.cache.hits"] = func() int64 { return s.reg.Counter("cache.hits") }
+		vars["ggcd.cache.misses"] = func() int64 { return s.reg.Counter("cache.misses") }
+	}
+	for name, get := range vars {
 		if expvar.Get(name) == nil {
 			get := get
 			expvar.Publish(name, expvar.Func(func() any { return get() }))
@@ -118,6 +147,17 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		cfg.Workers = n
 	}
 	wantJSON := q.Get("format") == "json"
+	if s.cache != nil {
+		cfg.Cache = s.cache
+		// The response format is part of the cache scope: a format=json
+		// request carries its own per-request events, so the two formats
+		// never share an entry even though the assembly would match.
+		if wantJSON {
+			cfg.CacheScope = "json"
+		} else {
+			cfg.CacheScope = "text"
+		}
+	}
 
 	s.reg.Count("requests", 1)
 	s.reg.Observe("source.bytes", int64(len(src)))
@@ -163,6 +203,13 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.reg.Observe("asm.lines", int64(res.out.Stats.AsmLines))
 
 	w.Header().Set("X-Ggcd-Compile-Ns", strconv.FormatInt(elapsed.Nanoseconds(), 10))
+	if s.cache != nil {
+		state := "miss"
+		if res.out.Cached {
+			state = "hit"
+		}
+		w.Header().Set("X-GGCD-Cache", state)
+	}
 	if !wantJSON {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, res.out.Asm)

@@ -102,6 +102,23 @@ type Config struct {
 	// to the sequential output. Ignored by the baseline generator and
 	// when Trace is set (the shift/reduce listing is per-action ordered).
 	Workers int
+
+	// Cache, if non-nil, serves repeated compilations of identical
+	// source under an identical configuration from a content-addressed
+	// store instead of recompiling, and coalesces concurrent identical
+	// requests onto a single compile (singleflight). Cached output is
+	// byte-identical to a fresh compile by construction: the key covers
+	// every output-affecting knob plus the identity of the tables (see
+	// internal/compcache). Ignored when Trace is set — the shift/reduce
+	// listing is a per-compilation side effect a cache hit could not
+	// replay.
+	Cache *Cache
+
+	// CacheScope is an opaque discriminator folded into the cache key.
+	// Serving layers whose requests must not share entries even for
+	// identical source and knobs (ggcd keys its response format here)
+	// set distinct scopes; leave empty otherwise.
+	CacheScope string
 }
 
 // Stats reports code-generation work for one compilation.
@@ -119,11 +136,25 @@ type Stats struct {
 type Compiled struct {
 	Asm   string
 	Stats Stats
+
+	// Cached reports that this result was served from Config.Cache —
+	// either a stored entry or another request's in-flight compile —
+	// rather than compiled by this call.
+	Cached bool
 }
 
 // Compile compiles source text (the C dialect cfront accepts) to VAX
-// assembly.
+// assembly. With Config.Cache set, repeated compilations of the same
+// source and configuration are served from the cache, byte-identically.
 func Compile(src string, cfg Config) (*Compiled, error) {
+	if cfg.Cache != nil && cfg.Trace == nil {
+		return compileCached(src, cfg)
+	}
+	return compile(src, cfg)
+}
+
+// compile is the uncached pipeline behind Compile.
+func compile(src string, cfg Config) (*Compiled, error) {
 	o := cfg.Observer
 	if cfg.Trace != nil {
 		// The appendix-style listing is a sink over the observer's trace

@@ -1,6 +1,8 @@
 package vax
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 
@@ -73,4 +75,34 @@ func Tables() (*tablegen.Tables, error) {
 		tables, tablesErr = tablegen.Build(g, tablegen.Options{})
 	})
 	return tables, tablesErr
+}
+
+var (
+	tableIDOnce sync.Once
+	tableID     string
+	tableIDErr  error
+)
+
+// TableID returns a hex content hash identifying the shared tables: the
+// SHA-256 of their wire encoding (grammar text, packed action/goto combs,
+// conflicts, semantic blocks, build stats) plus the encoding version.
+// Any change to the machine description or the table constructor changes
+// the ID, which is what makes it safe to use as the table-identity half
+// of a compile-cache fingerprint. Computed once per process.
+func TableID() (string, error) {
+	tableIDOnce.Do(func() {
+		t, err := Tables()
+		if err != nil {
+			tableIDErr = err
+			return
+		}
+		h := sha256.New()
+		fmt.Fprintf(h, "encoding=%d\n", tablegen.EncodingVersion)
+		if err := t.Encode(h); err != nil {
+			tableIDErr = fmt.Errorf("vax: hashing tables: %v", err)
+			return
+		}
+		tableID = hex.EncodeToString(h.Sum(nil))
+	})
+	return tableID, tableIDErr
 }
