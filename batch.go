@@ -80,6 +80,12 @@ func (e *BatchError) Unwrap() []error {
 // produces. If some units fail, their slots are nil and the returned
 // error is a *BatchError collecting every failure; the remaining units
 // are still compiled and returned.
+//
+// Each unit's IR is built in a node arena acquired from a process-wide
+// pool and released when the unit's compile returns, so a worker churning
+// through units keeps reusing the same warmed slabs; returned Compiled
+// values never alias arena memory (see DESIGN.md, "Memory ownership and
+// arenas").
 func CompileBatch(srcs []string, cfg BatchConfig) ([]*Compiled, error) {
 	if cfg.Config.Trace != nil {
 		return nil, errors.New("ggcg: BatchConfig.Config.Trace is not supported; trace single units with Compile")

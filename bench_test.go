@@ -56,11 +56,14 @@ func BenchmarkE2_GG(b *testing.B) {
 	if _, err := vax.Tables(); err != nil {
 		b.Fatal(err)
 	}
+	a := ir.AcquireArena()
+	defer a.Release()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := codegen.Compile(u, codegen.Options{}); err != nil {
+		if _, err := codegen.Compile(u, codegen.Options{Arena: a}); err != nil {
 			b.Fatal(err)
 		}
+		a.Reset() // the result copies out of the arena; slabs can be reused
 	}
 }
 
@@ -388,11 +391,14 @@ func BenchmarkTableLookup(b *testing.B) {
 // E6 companion: the tree-transformation phase alone.
 func BenchmarkE6_TransformOnly(b *testing.B) {
 	u := benchUnit(b, 40)
+	a := ir.AcquireArena()
+	defer a.Release()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := transform.Unit(u, transform.Options{}); err != nil {
+		if _, err := transform.UnitArena(u, transform.Options{}, a); err != nil {
 			b.Fatal(err)
 		}
+		a.Reset() // the output is dropped, so the slabs can be reused
 	}
 }
 
@@ -437,11 +443,14 @@ func BenchmarkSimulatorLargeProgram(b *testing.B) {
 
 func BenchmarkFrontEnd(b *testing.B) {
 	src := corpus.Large(40)
+	a := ir.AcquireArena()
+	defer a.Release()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cfront.Compile(src); err != nil {
+		if _, err := cfront.CompileArena(src, a, nil); err != nil {
 			b.Fatal(err)
 		}
+		a.Reset() // the unit is dropped, so the slabs can be reused
 	}
 }
 

@@ -53,21 +53,58 @@ func parseMeasurements(path string, data []byte) (*measurements, error) {
 	return &measurements{path: path, kind: "events", values: values}, nil
 }
 
-// benchValues reduces a bench set to name -> best (minimum) ns/op, the
-// conventional best-of-count reading least sensitive to scheduler noise.
+// benchValues reduces a bench set to name -> best (minimum) value per
+// tracked metric, the conventional best-of-count reading least sensitive
+// to scheduler noise. ns/op keeps the bare benchmark name; the -benchmem
+// allocation metrics get a bracketed suffix ("Foo [allocs/op]") so one
+// artifact tracks the timing and allocation trajectories side by side.
 // Sub-benchmarks keep their full name.
 func benchValues(set *benchfmt.Set) map[string]float64 {
 	out := make(map[string]float64)
-	for _, r := range set.Results {
-		v, ok := r.Metrics["ns/op"]
-		if !ok {
-			continue
+	best := func(name string, v float64) {
+		if b, seen := out[name]; !seen || v < b {
+			out[name] = v
 		}
-		if best, seen := out[r.Name]; !seen || v < best {
-			out[r.Name] = v
+	}
+	for _, r := range set.Results {
+		if v, ok := r.NsPerOp(); ok {
+			best(r.Name, v)
+		}
+		if v, ok := r.AllocsPerOp(); ok {
+			best(r.Name+" [allocs/op]", v)
+		}
+		if v, ok := r.BytesPerOp(); ok {
+			best(r.Name+" [B/op]", v)
 		}
 	}
 	return out
+}
+
+// metricUnit classifies a metric name by its bracketed suffix; bare names
+// are nanosecond durations (bench ns/op and event span totals).
+func metricUnit(name string) string {
+	switch {
+	case strings.HasSuffix(name, " [allocs/op]"):
+		return "allocs"
+	case strings.HasSuffix(name, " [B/op]"):
+		return "bytes"
+	default:
+		return "ns"
+	}
+}
+
+// gateFloor is the baseline magnitude below which a metric is considered
+// noise and never gated. Durations use the -min-ns flag; the allocation
+// metrics are deterministic enough that small fixed floors suffice.
+func gateFloor(name string, minNs float64) float64 {
+	switch metricUnit(name) {
+	case "allocs":
+		return 100
+	case "bytes":
+		return 16 * 1024
+	default:
+		return minNs
+	}
 }
 
 // eventValues aggregates an obs JSONL stream: total wall nanoseconds per
@@ -140,7 +177,7 @@ func analyze(sets []*measurements, threshold, minNs float64) *report {
 			if vo > 0 {
 				d.Rel = (vn - vo) / vo
 			}
-			d.Gated = vo >= minNs && d.Rel > threshold
+			d.Gated = vo >= gateFloor(name, minNs) && d.Rel > threshold
 			rep.deltas = append(rep.deltas, d)
 		case inFirst:
 			rep.onlyIn[first.path] = append(rep.onlyIn[first.path], name)
@@ -175,6 +212,29 @@ func fmtNs(v float64) string {
 		return "-"
 	}
 	return time.Duration(v).Round(time.Microsecond).String()
+}
+
+// fmtValue renders a metric value in its own unit: durations for ns
+// metrics, counts for allocs/op, KiB/MiB for B/op.
+func fmtValue(name string, v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	switch metricUnit(name) {
+	case "allocs":
+		return fmt.Sprintf("%.0f", v)
+	case "bytes":
+		switch {
+		case v >= 1<<20:
+			return fmt.Sprintf("%.1fMiB", v/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.1fKiB", v/(1<<10))
+		default:
+			return fmt.Sprintf("%.0fB", v)
+		}
+	default:
+		return fmtNs(v)
+	}
 }
 
 // write renders the comparison. Without -all it prints the regressions
@@ -227,11 +287,11 @@ func (r *report) write(w io.Writer, all bool) {
 		if d.Gated {
 			mark = "  REGRESSION"
 		}
-		fmt.Fprintf(w, "%-*s  %12s  %12s  %+7.1f%%%s\n", nameW, d.Name, fmtNs(d.Old), fmtNs(d.New), 100*d.Rel, mark)
+		fmt.Fprintf(w, "%-*s  %12s  %12s  %+7.1f%%%s\n", nameW, d.Name, fmtValue(d.Name, d.Old), fmtValue(d.Name, d.New), 100*d.Rel, mark)
 		if len(r.paths) > 2 {
 			vals := make([]string, len(d.Values))
 			for i, v := range d.Values {
-				vals[i] = fmtNs(v)
+				vals[i] = fmtValue(d.Name, v)
 			}
 			fmt.Fprintf(w, "%-*s  series: %s\n", nameW, "", strings.Join(vals, " -> "))
 		}

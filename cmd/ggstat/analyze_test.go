@@ -169,3 +169,51 @@ func TestUnrecognizedFile(t *testing.T) {
 		t.Error("span-free stream parsed without error")
 	}
 }
+
+// A -benchmem artifact carries allocation metrics under bracketed names,
+// each gated with its own noise floor and formatted in its own unit.
+func TestBenchAllocMetrics(t *testing.T) {
+	old := mustParse(t, "BENCH_a.json", []byte(`{"results":[
+		{"name":"BenchmarkCompile","iterations":100,"metrics":{"ns/op":2000000,"B/op":1400000,"allocs/op":19600}},
+		{"name":"BenchmarkTiny","iterations":100,"metrics":{"ns/op":900,"B/op":64,"allocs/op":3}}]}`))
+	new_ := mustParse(t, "BENCH_b.json", []byte(`{"results":[
+		{"name":"BenchmarkCompile","iterations":100,"metrics":{"ns/op":2010000,"B/op":1500000,"allocs/op":26000}},
+		{"name":"BenchmarkTiny","iterations":100,"metrics":{"ns/op":950,"B/op":80,"allocs/op":9}}]}`))
+	if got := old.values["BenchmarkCompile [allocs/op]"]; got != 19600 {
+		t.Fatalf("allocs metric = %v, want 19600", got)
+	}
+	// +33% allocs on Compile gates; Tiny tripled its 3 allocs but sits
+	// under the allocation noise floor, and the ns changes are tiny.
+	reg := analyze([]*measurements{old, new_}, 0.20, 50_000).regressions()
+	if len(reg) != 1 || reg[0].Name != "BenchmarkCompile [allocs/op]" {
+		t.Fatalf("regressions = %+v, want BenchmarkCompile [allocs/op]", reg)
+	}
+	var out bytes.Buffer
+	analyze([]*measurements{old, new_}, 0.20, 50_000).write(&out, true)
+	s := out.String()
+	if !strings.Contains(s, "26000") {
+		t.Errorf("allocs not rendered as a count:\n%s", s)
+	}
+	if !strings.Contains(s, "MiB") && !strings.Contains(s, "KiB") {
+		t.Errorf("bytes not rendered humanized:\n%s", s)
+	}
+}
+
+func TestFmtValueUnits(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		want string
+	}{
+		{"X [allocs/op]", 6779, "6779"},
+		{"X [B/op]", 512, "512B"},
+		{"X [B/op]", 8 << 10, "8.0KiB"},
+		{"X [B/op]", 3 << 20, "3.0MiB"},
+		{"X", 1_500_000, "1.5ms"},
+	}
+	for _, c := range cases {
+		if got := fmtValue(c.name, c.v); got != c.want {
+			t.Errorf("fmtValue(%q, %v) = %q, want %q", c.name, c.v, got, c.want)
+		}
+	}
+}

@@ -6,8 +6,10 @@
 // Two file formats are understood, auto-detected per file:
 //
 //   - bench JSON: the document cmd/benchjson produces from `go test
-//     -bench` output (BENCH_*.json). The metric is ns/op per benchmark,
-//     best (minimum) across -count repetitions.
+//     -bench` output (BENCH_*.json). The metrics are ns/op per benchmark
+//     plus, for -benchmem runs, "Name [allocs/op]" and "Name [B/op]" —
+//     each best (minimum) across -count repetitions and gated with a
+//     noise floor suited to its unit.
 //   - obs event JSONL: the -events stream ggcc and ggcd write. The
 //     metrics are total nanoseconds per phase path, aggregated over
 //     every span event ("compile/codegen", "compile/codegen/select", ...).

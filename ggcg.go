@@ -22,6 +22,7 @@ import (
 
 	"ggcg/internal/cfront"
 	"ggcg/internal/codegen"
+	"ggcg/internal/ir"
 	"ggcg/internal/obs"
 	"ggcg/internal/pcc"
 	"ggcg/internal/peep"
@@ -153,8 +154,15 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 	return compile(src, cfg)
 }
 
-// compile is the uncached pipeline behind Compile.
+// compile is the uncached pipeline behind Compile. It owns one pooled node
+// arena for the whole front half: cfront builds the unit's trees in it and
+// transform draws replacement nodes from it (sequentially) or from pooled
+// per-worker arenas (Config.Workers > 1). The arena is released on every
+// exit path — the returned Compiled never aliases arena memory, because
+// Asm is a copied string and Stats are plain counters.
 func compile(src string, cfg Config) (*Compiled, error) {
+	a := ir.AcquireArena()
+	defer a.Release()
 	o := cfg.Observer
 	if cfg.Trace != nil {
 		// The appendix-style listing is a sink over the observer's trace
@@ -169,7 +177,7 @@ func compile(src string, cfg Config) (*Compiled, error) {
 	}
 	sp := o.Start("compile")
 	defer sp.End()
-	unit, err := cfront.CompileObs(src, o)
+	unit, err := cfront.CompileArena(src, a, o)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +210,7 @@ func compile(src string, cfg Config) (*Compiled, error) {
 	}
 	opt := codegen.Options{
 		Transform: transform.Options{NoReverseOps: cfg.NoReverseOps},
+		Arena:     a,
 		Peephole:  cfg.Peephole,
 		Obs:       o,
 		Workers:   cfg.Workers,

@@ -37,6 +37,28 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// NsPerOp returns the ns/op metric, false when the line carried none.
+func (r Result) NsPerOp() (float64, bool) {
+	v, ok := r.Metrics["ns/op"]
+	return v, ok
+}
+
+// AllocsPerOp returns the allocs/op metric a -benchmem run reports, false
+// when absent. Allocation counts are the deterministic half of a bench
+// artifact: they move only when the code's allocation behaviour moves, so
+// regression gates can hold them much tighter than timing.
+func (r Result) AllocsPerOp() (float64, bool) {
+	v, ok := r.Metrics["allocs/op"]
+	return v, ok
+}
+
+// BytesPerOp returns the B/op metric a -benchmem run reports, false when
+// absent.
+func (r Result) BytesPerOp() (float64, bool) {
+	v, ok := r.Metrics["B/op"]
+	return v, ok
+}
+
 // Set is a parsed benchmark run: the context the testing package prints
 // once, plus every benchmark line in order.
 type Set struct {

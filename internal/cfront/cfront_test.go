@@ -550,3 +550,49 @@ func TestSwitchErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestCompileArenaMatchesHeap holds the arena-allocated parse to exact
+// tree equality with the heap-allocated one, function by function, and
+// checks that pooled parser state does not leak between the two runs.
+func TestCompileArenaMatchesHeap(t *testing.T) {
+	src := `
+		int g = 3;
+		int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+		int main() {
+			register int i; int s = 0;
+			for (i = 0; i < 10; i++) { s += fib(i) * g; }
+			switch (s) { case 0: return -1; default: break; }
+			return s > 100 && s % 2 ? s : -s;
+		}`
+	heap, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ir.AcquireArena()
+	defer a.Release()
+	arena, err := CompileArena(src, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arena.Funcs) != len(heap.Funcs) {
+		t.Fatalf("function counts differ: %d vs %d", len(arena.Funcs), len(heap.Funcs))
+	}
+	for i, hf := range heap.Funcs {
+		af := arena.Funcs[i]
+		if af.Name != hf.Name || af.FrameSize != hf.FrameSize || len(af.Items) != len(hf.Items) {
+			t.Fatalf("func %d shape differs", i)
+		}
+		for j, hit := range hf.Items {
+			ait := af.Items[j]
+			if ait.Kind != hit.Kind || ait.Label != hit.Label {
+				t.Fatalf("func %d item %d differs", i, j)
+			}
+			if hit.Kind == ir.ItemTree && !ait.Tree.Equal(hit.Tree) {
+				t.Fatalf("func %d item %d trees differ:\narena: %s\nheap:  %s", i, j, ait.Tree, hit.Tree)
+			}
+		}
+	}
+	if got := a.Allocated(); got == 0 {
+		t.Fatal("arena compile allocated no nodes from the arena")
+	}
+}

@@ -51,7 +51,7 @@ func (p *parser) assignExpr() expr {
 		if e.lv == nil {
 			p.errf("left side of %s is not assignable", t.text)
 		}
-		read := expr{n: e.n.Clone(), t: e.t}
+		read := expr{n: p.a.Clone(e.n), t: e.t}
 		return p.buildAssign(e, p.buildBin(op, read, rhs))
 	}
 	return e
@@ -66,7 +66,8 @@ func (p *parser) condExpr() expr {
 	p.expect(":")
 	b := p.condExpr()
 	t := arith(a.t, b.t)
-	sel := &ir.Node{Op: ir.Select, Type: t.irType(), Kids: []*ir.Node{c.n, a.n, b.n}}
+	sel := p.newNode(ir.Select, t.irType())
+	sel.Kids = p.a.Kids(c.n, a.n, b.n)
 	return rval(sel, t)
 }
 
@@ -74,7 +75,7 @@ func (p *parser) orExpr() expr {
 	e := p.andExpr()
 	for p.accept("||") {
 		r := p.andExpr()
-		e = rval(ir.Bin(ir.OrOr, ir.Long, e.n, r.n), ctype{base: ir.Long})
+		e = rval(p.a.Bin(ir.OrOr, ir.Long, e.n, r.n), ctype{base: ir.Long})
 	}
 	return e
 }
@@ -83,7 +84,7 @@ func (p *parser) andExpr() expr {
 	e := p.bitOrExpr()
 	for p.accept("&&") {
 		r := p.bitOrExpr()
-		e = rval(ir.Bin(ir.AndAnd, ir.Long, e.n, r.n), ctype{base: ir.Long})
+		e = rval(p.a.Bin(ir.AndAnd, ir.Long, e.n, r.n), ctype{base: ir.Long})
 	}
 	return e
 }
@@ -169,11 +170,11 @@ func (p *parser) shiftExpr() expr {
 		if !e.t.irType().IsUnsigned() {
 			t = ctype{base: ir.Long}
 		}
-		if f := foldInt(op, t, e.n, r.n); f != nil {
+		if f := p.foldInt(op, t, e.n, r.n); f != nil {
 			e = rval(f, t)
 			continue
 		}
-		e = rval(ir.Bin(op, t.irType(), e.n, r.n), t)
+		e = rval(p.a.Bin(op, t.irType(), e.n, r.n), t)
 	}
 }
 
@@ -231,13 +232,13 @@ func (p *parser) unaryExpr() expr {
 			p.advance()
 			e := p.unaryExpr()
 			if e.n.Op == ir.Const {
-				return rval(ir.SmallConst(-e.n.Val), e.t)
+				return rval(p.a.SmallConst(-e.n.Val), e.t)
 			}
 			if e.n.Op == ir.FConst {
-				return rval(ir.NewFConst(e.n.Type, -e.n.F), e.t)
+				return rval(p.a.NewFConst(e.n.Type, -e.n.F), e.t)
 			}
 			t := arith(e.t, ctype{base: ir.Long})
-			return rval(ir.Un(ir.Neg, t.irType(), e.n), t)
+			return rval(p.a.Un(ir.Neg, t.irType(), e.n), t)
 		case "~":
 			p.advance()
 			e := p.unaryExpr()
@@ -246,13 +247,13 @@ func (p *parser) unaryExpr() expr {
 			}
 			t := arith(e.t, ctype{base: ir.Long})
 			if e.n.Op == ir.Const {
-				return rval(ir.SmallConst(^e.n.Val), t)
+				return rval(p.a.SmallConst(^e.n.Val), t)
 			}
-			return rval(ir.Un(ir.Compl, t.irType(), e.n), t)
+			return rval(p.a.Un(ir.Compl, t.irType(), e.n), t)
 		case "!":
 			p.advance()
 			e := p.unaryExpr()
-			return rval(ir.Un(ir.Not, ir.Long, e.n), ctype{base: ir.Long})
+			return rval(p.a.Un(ir.Not, ir.Long, e.n), ctype{base: ir.Long})
 		case "*":
 			p.advance()
 			e := p.unaryExpr()
@@ -260,8 +261,8 @@ func (p *parser) unaryExpr() expr {
 				p.errf("cannot dereference non-pointer %v", e.t)
 			}
 			et := e.t.elem()
-			lv := ir.Un(ir.Indir, et.irType(), e.n)
-			return lvexpr(lv, et, lv.Clone())
+			lv := p.a.Un(ir.Indir, et.irType(), e.n)
+			return lvexpr(lv, et, p.a.Clone(lv))
 		case "&":
 			p.advance()
 			e := p.unaryExpr()
@@ -295,14 +296,14 @@ func (p *parser) sizeofExpr() expr {
 				typ.ptr++
 			}
 			p.expect(")")
-			return rval(ir.SmallConst(int64(typ.size())), ctype{base: ir.Long})
+			return rval(p.a.SmallConst(int64(typ.size())), ctype{base: ir.Long})
 		}
 		e := p.expr()
 		p.expect(")")
-		return rval(ir.SmallConst(int64(e.t.size())), ctype{base: ir.Long})
+		return rval(p.a.SmallConst(int64(e.t.size())), ctype{base: ir.Long})
 	}
 	e := p.unaryExpr()
-	return rval(ir.SmallConst(int64(e.t.size())), ctype{base: ir.Long})
+	return rval(p.a.SmallConst(int64(e.t.size())), ctype{base: ir.Long})
 }
 
 // tryCast checks for '(' typename ')' and consumes it if present.
@@ -362,15 +363,15 @@ func (p *parser) primary() expr {
 	case tInt:
 		p.advance()
 		if t.text == "u" {
-			return rval(ir.NewConst(ir.ULong, t.ival), ctype{base: ir.ULong})
+			return rval(p.a.NewConst(ir.ULong, t.ival), ctype{base: ir.ULong})
 		}
-		return rval(ir.SmallConst(t.ival), ctype{base: ir.Long})
+		return rval(p.a.SmallConst(t.ival), ctype{base: ir.Long})
 	case tFloat:
 		p.advance()
 		if t.text == "f" {
-			return rval(ir.NewFConst(ir.Float, t.fval), ctype{base: ir.Float})
+			return rval(p.a.NewFConst(ir.Float, t.fval), ctype{base: ir.Float})
 		}
-		return rval(ir.NewFConst(ir.Double, t.fval), ctype{base: ir.Double})
+		return rval(p.a.NewFConst(ir.Double, t.fval), ctype{base: ir.Double})
 	case tIdent:
 		p.advance()
 		if p.peek().kind == tPunct && p.peek().text == "(" {
@@ -401,23 +402,23 @@ func (p *parser) symbolExpr(s *symbol) expr {
 		if s.isArray() {
 			// Arrays decay to a pointer to their first element; the Name
 			// leaf is typed by the element type (cf. the appendix).
-			return rval(ir.NewName(it, s.name), ctype{base: s.t.base, ptr: s.t.ptr + 1})
+			return rval(p.a.NewName(it, s.name), ctype{base: s.t.base, ptr: s.t.ptr + 1})
 		}
-		lv := ir.NewName(it, s.name)
-		return lvexpr(lv, s.t, ir.Un(ir.Indir, it, lv.Clone()))
+		lv := p.a.NewName(it, s.name)
+		return lvexpr(lv, s.t, p.a.Un(ir.Indir, it, p.a.Clone(lv)))
 	case symLocal:
 		if s.isArray() {
-			return rval(ir.FrameAddr(s.offset), ctype{base: s.t.base, ptr: s.t.ptr + 1})
+			return rval(p.a.FrameAddr(s.offset), ctype{base: s.t.base, ptr: s.t.ptr + 1})
 		}
-		lv := ir.FrameRef(it, s.offset)
-		return lvexpr(lv, s.t, lv.Clone())
+		lv := p.a.FrameRef(it, s.offset)
+		return lvexpr(lv, s.t, p.a.Clone(lv))
 	case symParam:
-		lv := ir.Un(ir.Indir, it,
-			ir.Bin(ir.Plus, ir.Long, ir.SmallConst(int64(s.offset)), ir.NewDreg(ir.Long, ir.RegAP)))
-		return lvexpr(lv, s.t, lv.Clone())
+		lv := p.a.Un(ir.Indir, it,
+			p.a.Bin(ir.Plus, ir.Long, p.a.SmallConst(int64(s.offset)), p.a.NewDreg(ir.Long, ir.RegAP)))
+		return lvexpr(lv, s.t, p.a.Clone(lv))
 	case symRegVar:
-		lv := ir.NewDreg(it, s.reg)
-		return lvexpr(lv, s.t, lv.Clone())
+		lv := p.a.NewDreg(it, s.reg)
+		return lvexpr(lv, s.t, p.a.Clone(lv))
 	}
 	p.errf("%q is a function, not a value", s.name)
 	panic("unreachable")
@@ -445,7 +446,7 @@ func (p *parser) callExpr(name string) expr {
 				a = rval(p.convertArg(a, s.params[i]), s.params[i])
 			} else if a.t.base == ir.Float && a.t.ptr == 0 {
 				// Default promotion: float arguments travel as double.
-				a = rval(ir.Un(ir.Conv, ir.Double, a.n), ctype{base: ir.Double})
+				a = rval(p.a.Un(ir.Conv, ir.Double, a.n), ctype{base: ir.Double})
 			}
 			if a.t.base == ir.Double && a.t.ptr == 0 {
 				words += 2
@@ -482,7 +483,8 @@ func (p *parser) callExpr(name string) expr {
 		}
 		rt = ctype{base: nodeT}
 	}
-	call := &ir.Node{Op: ir.Call, Type: nodeT, Sym: name, Val: int64(words), Kids: args}
+	call := p.newNode(ir.Call, nodeT)
+	call.Sym, call.Val, call.Kids = name, int64(words), args
 	return rval(call, rt)
 }
 
@@ -510,16 +512,16 @@ func (p *parser) buildIndex(a, idx expr) expr {
 		p.errf("array index must be an integer")
 	}
 	et := a.t.elem()
-	addr := ir.Bin(ir.Plus, ir.Long, a.n, p.scaleIndex(idx.n, et.size()))
+	addr := p.a.Bin(ir.Plus, ir.Long, a.n, p.scaleIndex(idx.n, et.size()))
 	if idx.n.Op == ir.Const {
 		// Constant index: fold into a displacement.
-		addr = ir.Bin(ir.Plus, ir.Long, ir.SmallConst(idx.n.Val*int64(et.size())), a.n)
+		addr = p.a.Bin(ir.Plus, ir.Long, p.a.SmallConst(idx.n.Val*int64(et.size())), a.n)
 		if a.n.Op == ir.Const {
-			addr = ir.SmallConst(idx.n.Val*int64(et.size()) + a.n.Val)
+			addr = p.a.SmallConst(idx.n.Val*int64(et.size()) + a.n.Val)
 		}
 	}
-	lv := ir.Un(ir.Indir, et.irType(), addr)
-	return lvexpr(lv, et, lv.Clone())
+	lv := p.a.Un(ir.Indir, et.irType(), addr)
+	return lvexpr(lv, et, p.a.Clone(lv))
 }
 
 // scaleIndex multiplies an index by an element size, keeping the constant
@@ -529,9 +531,9 @@ func (p *parser) scaleIndex(idx *ir.Node, size int) *ir.Node {
 		return idx
 	}
 	if idx.Op == ir.Const {
-		return ir.SmallConst(idx.Val * int64(size))
+		return p.a.SmallConst(idx.Val * int64(size))
 	}
-	return ir.Bin(ir.Mul, ir.Long, ir.SmallConst(int64(size)), idx)
+	return p.a.Bin(ir.Mul, ir.Long, p.a.SmallConst(int64(size)), idx)
 }
 
 func (p *parser) buildIncDec(op ir.Op, e expr) expr {
@@ -545,7 +547,7 @@ func (p *parser) buildIncDec(op ir.Op, e expr) expr {
 	if e.t.isFloat() {
 		p.errf("++/-- on floating operands is not supported")
 	}
-	n := ir.Bin(op, e.t.irType(), e.lv, ir.SmallConst(amount))
+	n := p.a.Bin(op, e.t.irType(), e.lv, p.a.SmallConst(amount))
 	return rval(n, e.t)
 }
 
@@ -560,22 +562,22 @@ func (p *parser) buildAdd(a, b expr, sub bool) expr {
 		if !sub {
 			p.errf("cannot add two pointers")
 		}
-		diff := ir.Bin(ir.Minus, ir.Long, a.n, b.n)
+		diff := p.a.Bin(ir.Minus, ir.Long, a.n, b.n)
 		size := int64(a.t.elem().size())
 		if size == 1 {
 			return rval(diff, ctype{base: ir.Long})
 		}
-		return rval(ir.Bin(ir.Div, ir.Long, diff, ir.SmallConst(size)), ctype{base: ir.Long})
+		return rval(p.a.Bin(ir.Div, ir.Long, diff, p.a.SmallConst(size)), ctype{base: ir.Long})
 	case a.t.isPtr():
 		if b.t.isFloat() {
 			p.errf("invalid pointer arithmetic")
 		}
-		return rval(ir.Bin(op, ir.Long, a.n, p.scaleIndex(b.n, a.t.elem().size())), a.t)
+		return rval(p.a.Bin(op, ir.Long, a.n, p.scaleIndex(b.n, a.t.elem().size())), a.t)
 	case b.t.isPtr():
 		if sub {
 			p.errf("cannot subtract a pointer from an integer")
 		}
-		return rval(ir.Bin(op, ir.Long, b.n, p.scaleIndex(a.n, b.t.elem().size())), b.t)
+		return rval(p.a.Bin(op, ir.Long, b.n, p.scaleIndex(a.n, b.t.elem().size())), b.t)
 	}
 	return p.buildBin(op, a, b)
 }
@@ -588,10 +590,10 @@ func (p *parser) buildBin(op ir.Op, a, b expr) expr {
 	if t.isFloat() && (op == ir.And || op == ir.Or || op == ir.Xor || op == ir.Lsh || op == ir.Rsh || op == ir.Mod) {
 		p.errf("%v requires integer operands", op)
 	}
-	if f := foldInt(op, t, a.n, b.n); f != nil {
+	if f := p.foldInt(op, t, a.n, b.n); f != nil {
 		return rval(f, t)
 	}
-	return rval(ir.Bin(op, t.irType(), a.n, b.n), t)
+	return rval(p.a.Bin(op, t.irType(), a.n, b.n), t)
 }
 
 // buildRel builds a relational value expression; its type records the
@@ -601,7 +603,7 @@ func (p *parser) buildRel(op ir.Op, a, b expr) expr {
 	if a.t.isPtr() || b.t.isPtr() {
 		ct = ctype{base: ir.ULong}
 	}
-	return rval(ir.Bin(op, ct.irType(), a.n, b.n), ctype{base: ir.Long})
+	return rval(p.a.Bin(op, ct.irType(), a.n, b.n), ctype{base: ir.Long})
 }
 
 func (p *parser) buildAssign(lhs, rhs expr) expr {
@@ -610,7 +612,7 @@ func (p *parser) buildAssign(lhs, rhs expr) expr {
 	}
 	t := lhs.t
 	n := p.convertForStore(rhs, t)
-	asg := ir.Bin(ir.Assign, t.irType(), lhs.lv, n)
+	asg := p.a.Bin(ir.Assign, t.irType(), lhs.lv, n)
 	return rval(asg, t)
 }
 
@@ -622,12 +624,12 @@ func (p *parser) buildAssign(lhs, rhs expr) expr {
 func (p *parser) convertForStore(e expr, t ctype) *ir.Node {
 	if t.isFloat() {
 		if t.base == ir.Float && e.t.base == ir.Double && !e.t.isPtr() {
-			return ir.Un(ir.Conv, ir.Float, e.n)
+			return p.a.Un(ir.Conv, ir.Float, e.n)
 		}
 		return e.n
 	}
 	if e.t.isFloat() {
-		return ir.Un(ir.Conv, t.irType(), e.n)
+		return p.a.Un(ir.Conv, t.irType(), e.n)
 	}
 	return e.n
 }
@@ -647,19 +649,19 @@ func (p *parser) convertValue(e expr, t ctype) *ir.Node {
 	switch {
 	case db.IsFloat() && sb.IsFloat():
 		if db == ir.Float && sb == ir.Double {
-			return ir.Un(ir.Conv, ir.Float, e.n)
+			return p.a.Un(ir.Conv, ir.Float, e.n)
 		}
 		return e.n // float widening is a chain production
 	case db.IsFloat():
 		return e.n // int to float is a chain production
 	case sb.IsFloat():
-		return ir.Un(ir.Conv, db, e.n)
+		return p.a.Un(ir.Conv, db, e.n)
 	default:
 		if db.Size() < sb.Size() || db.Size() == sb.Size() && db.IsUnsigned() != sb.IsUnsigned() {
 			if e.n.Op == ir.Const {
-				return ir.NewConst(db, extendConst(e.n.Val, db))
+				return p.a.NewConst(db, extendConst(e.n.Val, db))
 			}
-			return ir.Un(ir.Conv, db, e.n)
+			return p.a.Un(ir.Conv, db, e.n)
 		}
 		return e.n // integer widening is a chain production
 	}
@@ -686,7 +688,7 @@ func extendConst(v int64, t ir.Type) int64 {
 }
 
 // foldInt folds integer binary operations over constants.
-func foldInt(op ir.Op, t ctype, a, b *ir.Node) *ir.Node {
+func (p *parser) foldInt(op ir.Op, t ctype, a, b *ir.Node) *ir.Node {
 	if a.Op != ir.Const || b.Op != ir.Const || t.isFloat() || t.isPtr() {
 		return nil
 	}
@@ -714,7 +716,7 @@ func foldInt(op ir.Op, t ctype, a, b *ir.Node) *ir.Node {
 		return nil
 	}
 	if t.base.IsUnsigned() {
-		return ir.NewConst(ir.ULong, int64(uint32(v)))
+		return p.a.NewConst(ir.ULong, int64(uint32(v)))
 	}
-	return ir.SmallConst(extendConst(v, ir.Long))
+	return p.a.SmallConst(extendConst(v, ir.Long))
 }

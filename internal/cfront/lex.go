@@ -43,9 +43,9 @@ func (t token) String() string {
 	case tEOF:
 		return "end of file"
 	case tInt:
-		return fmt.Sprintf("%d", t.ival)
+		return strconv.FormatInt(t.ival, 10)
 	case tFloat:
-		return fmt.Sprintf("%g", t.fval)
+		return string(strconv.AppendFloat(nil, t.fval, 'g', -1, 64))
 	}
 	return t.text
 }
@@ -59,6 +59,18 @@ var punctuators = []string{
 	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
 }
 
+// punctByFirst buckets the punctuators by first byte so the lexer probes
+// only the handful sharing the current byte instead of scanning all 30.
+// Bucket order inherits the table's longest-first order, which keeps
+// maximal-munch behaviour ("<<=" before "<<" before "<").
+var punctByFirst [256][]string
+
+func init() {
+	for _, p := range punctuators {
+		punctByFirst[p[0]] = append(punctByFirst[p[0]], p)
+	}
+}
+
 type lexer struct {
 	src  string
 	pos  int
@@ -67,8 +79,13 @@ type lexer struct {
 }
 
 // lex tokenizes the whole source up front.
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src, line: 1}
+func lex(src string) ([]token, error) { return lexInto(src, nil) }
+
+// lexInto tokenizes the whole source up front, appending into toks —
+// typically a pooled slice resliced to length zero — so steady-state
+// compiles reuse one token backing array.
+func lexInto(src string, toks []token) ([]token, error) {
+	l := lexer{src: src, line: 1, toks: toks}
 	for {
 		l.skipSpaceAndComments()
 		if l.pos >= len(l.src) {
@@ -132,8 +149,9 @@ func (l *lexer) next() error {
 	case c == '\'':
 		return l.charLit()
 	}
-	for _, p := range punctuators {
-		if strings.HasPrefix(l.src[l.pos:], p) {
+	rest := l.src[l.pos:]
+	for _, p := range punctByFirst[c] {
+		if strings.HasPrefix(rest, p) {
 			l.toks = append(l.toks, token{kind: tPunct, text: p, line: l.line})
 			l.pos += len(p)
 			return nil

@@ -1,6 +1,8 @@
 package cfront
 
 import (
+	"sync"
+
 	"ggcg/internal/ir"
 	"ggcg/internal/obs"
 )
@@ -14,23 +16,39 @@ func Compile(src string) (u *ir.Unit, err error) {
 
 // CompileObs is Compile with instrumentation: the lexing and parsing
 // subphases report spans and counters to the observer (nil disables).
+// Nodes are heap-allocated; the returned unit has no arena tie.
 func CompileObs(src string, o *obs.Observer) (u *ir.Unit, err error) {
+	return CompileArena(src, nil, o)
+}
+
+// CompileArena is CompileObs with an explicit node arena: every IR node of
+// the returned unit is allocated from a. The caller owns the arena and must
+// keep it alive for as long as the unit's trees are in use; after
+// a.Reset/a.Release the unit is invalid. A nil arena falls back to per-node
+// heap allocation (identical to CompileObs). Lexer tokens and parser state
+// are drawn from process-wide pools either way.
+func CompileArena(src string, a *ir.Arena, o *obs.Observer) (u *ir.Unit, err error) {
 	sp := o.Start("cfront")
 	defer sp.End()
 	lsp := o.Start("lex")
-	toks, err := lex(src)
+	tp := tokPool.Get().(*[]token)
+	toks, lerr := lexInto(src, (*tp)[:0])
+	if toks != nil {
+		*tp = toks
+	}
+	defer func() {
+		clear(*tp) // drop the strings pinning src
+		tokPool.Put(tp)
+	}()
 	lsp.End()
-	if err != nil {
-		return nil, err
+	if lerr != nil {
+		return nil, lerr
 	}
 	o.Count("cfront.tokens", int64(len(toks)))
 	psp := o.Start("parse")
 	defer psp.End()
-	p := &parser{
-		toks:    toks,
-		unit:    &ir.Unit{},
-		globals: make(map[string]*symbol),
-	}
+	p := acquireParser(toks, a)
+	defer releaseParser(p)
 	defer func() {
 		if r := recover(); r != nil {
 			pe, ok := r.(perr)
@@ -46,6 +64,46 @@ func CompileObs(src string, o *obs.Observer) (u *ir.Unit, err error) {
 	return p.unit, nil
 }
 
+// tokPool recycles token slices across compiles; lexInto appends into the
+// pooled backing array, so steady-state lexing allocates only when a unit
+// out-grows every slice seen before.
+var tokPool = sync.Pool{New: func() any { return new([]token) }}
+
+// parserPool recycles parser state — the globals map, scope maps, symbol
+// slab and the bookkeeping slices — across compiles.
+var parserPool = sync.Pool{New: func() any {
+	return &parser{globals: make(map[string]*symbol, 16)}
+}}
+
+func acquireParser(toks []token, a *ir.Arena) *parser {
+	p := parserPool.Get().(*parser)
+	p.toks, p.a = toks, a
+	p.unit = &ir.Unit{}
+	p.pos = 0
+	return p
+}
+
+// releaseParser clears everything the parser touched — including leftover
+// scopes after a parse panic — and returns it to the pool. The produced
+// unit is never pooled: it is the caller's.
+func releaseParser(p *parser) {
+	clear(p.globals)
+	for _, m := range p.scopes {
+		clear(m)
+		p.scopeFree = append(p.scopeFree, m)
+	}
+	p.scopes = p.scopes[:0]
+	full := p.symChunk[:cap(p.symChunk)]
+	clear(full) // drop symbol names/param slices
+	p.symChunk = p.symChunk[:0]
+	p.toks, p.a, p.unit = nil, nil, nil
+	p.fn, p.curFunc = nil, nil
+	p.breakLs, p.contLs = p.breakLs[:0], p.contLs[:0]
+	p.switches = p.switches[:0]
+	p.frameOff, p.nextReg = 0, 0
+	parserPool.Put(p)
+}
+
 // MustCompile is Compile for known-good sources in tests and examples.
 func MustCompile(src string) *ir.Unit {
 	u, err := Compile(src)
@@ -59,8 +117,13 @@ type parser struct {
 	toks []token
 	pos  int
 
+	a       *ir.Arena // node arena; nil means heap allocation
 	unit    *ir.Unit
 	globals map[string]*symbol
+
+	// Pooled allocation state, recycled across compiles.
+	scopeFree []map[string]*symbol // cleared scope maps ready for reuse
+	symChunk  []symbol             // active symbol slab
 
 	// Per-function state.
 	fn       *ir.Func
@@ -71,6 +134,39 @@ type parser struct {
 	contLs   []int
 	switches []*switchCtx
 	curFunc  *symbol
+}
+
+// newSymbol hands out a zeroed symbol from the parser's slab. Chunks are
+// fixed-capacity so previously returned pointers stay valid when the slab
+// grows; retired chunks are garbage-collected with their symbols.
+const symChunkLen = 64
+
+func (p *parser) newSymbol() *symbol {
+	if len(p.symChunk) == cap(p.symChunk) {
+		p.symChunk = make([]symbol, 0, symChunkLen)
+	}
+	p.symChunk = append(p.symChunk, symbol{})
+	return &p.symChunk[len(p.symChunk)-1]
+}
+
+// pushScope opens a scope, reusing a cleared map when one is available.
+func (p *parser) pushScope() {
+	var m map[string]*symbol
+	if n := len(p.scopeFree); n > 0 {
+		m, p.scopeFree = p.scopeFree[n-1], p.scopeFree[:n-1]
+	} else {
+		m = make(map[string]*symbol, 8)
+	}
+	p.scopes = append(p.scopes, m)
+}
+
+// popScope closes the innermost scope and recycles its map.
+func (p *parser) popScope() {
+	n := len(p.scopes) - 1
+	m := p.scopes[n]
+	p.scopes = p.scopes[:n]
+	clear(m)
+	p.scopeFree = append(p.scopeFree, m)
 }
 
 // switchCtx collects the case labels of an open switch statement; the
@@ -272,13 +368,16 @@ func (p *parser) globalVar(name string, t ctype, array int) {
 		}
 	}
 	p.unit.Globals = append(p.unit.Globals, g)
-	p.globals[name] = &symbol{name: name, kind: symGlobal, t: t, array: array}
+	s := p.newSymbol()
+	*s = symbol{name: name, kind: symGlobal, t: t, array: array}
+	p.globals[name] = s
 }
 
 func (p *parser) function(name string, result ctype) {
 	sym := p.globals[name]
 	if sym == nil {
-		sym = &symbol{name: name, kind: symFunc, result: result}
+		sym = p.newSymbol()
+		*sym = symbol{name: name, kind: symFunc, result: result}
 		p.globals[name] = sym
 	} else if sym.kind != symFunc {
 		p.errf("redeclaration of %q", name)
@@ -329,12 +428,13 @@ func (p *parser) function(name string, result ctype) {
 
 	p.fn = &ir.Func{Name: name}
 	p.curFunc = sym
-	p.scopes = []map[string]*symbol{make(map[string]*symbol)}
+	p.pushScope()
 	p.frameOff = 0
 	p.nextReg = 6
 	off := 4
 	for _, prm := range params {
-		s := &symbol{name: prm.name, kind: symParam, t: prm.t, offset: off}
+		s := p.newSymbol()
+		*s = symbol{name: prm.name, kind: symParam, t: prm.t, offset: off}
 		if prm.t.base == ir.Double && prm.t.ptr == 0 {
 			off += 8
 		} else {
@@ -347,11 +447,12 @@ func (p *parser) function(name string, result ctype) {
 	// An implicit return for functions that run off the end.
 	if n := len(p.fn.Items); n == 0 || p.fn.Items[n-1].Kind != ir.ItemTree ||
 		p.fn.Items[n-1].Tree.Op != ir.Ret {
-		p.fn.Emit(&ir.Node{Op: ir.Ret, Type: ir.Void})
+		p.fn.Emit(p.newNode(ir.Ret, ir.Void))
 	}
 	p.fn.FrameSize = -p.frameOff
 	p.unit.Funcs = append(p.unit.Funcs, p.fn)
-	p.fn, p.curFunc, p.scopes = nil, nil, nil
+	p.popScope()
+	p.fn, p.curFunc = nil, nil
 }
 
 func (p *parser) declare(s *symbol) {
@@ -377,14 +478,14 @@ func (p *parser) lookup(name string) *symbol {
 // block parses { ... } with its own scope; the opening brace has been
 // consumed.
 func (p *parser) block() {
-	p.scopes = append(p.scopes, make(map[string]*symbol))
+	p.pushScope()
 	for !p.accept("}") {
 		if p.peek().kind == tEOF {
 			p.errf("unexpected end of file in block")
 		}
 		p.statement()
 	}
-	p.scopes = p.scopes[:len(p.scopes)-1]
+	p.popScope()
 }
 
 func (p *parser) statement() {
@@ -427,13 +528,13 @@ func (p *parser) statement() {
 		if len(p.breakLs) == 0 {
 			p.errf("break outside loop")
 		}
-		p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(p.breakLs[len(p.breakLs)-1])))
+		p.fn.Emit(p.a.Un(ir.Jump, ir.Void, p.a.NewLab(p.breakLs[len(p.breakLs)-1])))
 		p.expect(";")
 	case p.acceptKw("continue"):
 		if len(p.contLs) == 0 {
 			p.errf("continue outside loop")
 		}
-		p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(p.contLs[len(p.contLs)-1])))
+		p.fn.Emit(p.a.Un(ir.Jump, ir.Void, p.a.NewLab(p.contLs[len(p.contLs)-1])))
 		p.expect(";")
 	default:
 		e := p.expr()
@@ -455,7 +556,8 @@ func (p *parser) localDecl(base ctype, isReg bool) {
 		if p.nextReg > 11 {
 			p.errf("out of register variables for %q", name)
 		}
-		s = &symbol{name: name, kind: symRegVar, t: t, reg: p.nextReg}
+		s = p.newSymbol()
+		*s = symbol{name: name, kind: symRegVar, t: t, reg: p.nextReg}
 		p.nextReg++
 	} else {
 		size := t.size()
@@ -468,7 +570,8 @@ func (p *parser) localDecl(base ctype, isReg bool) {
 				p.frameOff -= align - r
 			}
 		}
-		s = &symbol{name: name, kind: symLocal, t: t, offset: p.frameOff, array: array}
+		s = p.newSymbol()
+		*s = symbol{name: name, kind: symLocal, t: t, offset: p.frameOff, array: array}
 	}
 	p.declare(s)
 	if p.accept("=") {
@@ -490,7 +593,7 @@ func (p *parser) ifStmt() {
 	p.statement()
 	if p.acceptKw("else") {
 		endL := p.fn.NewLabel()
-		p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(endL)))
+		p.fn.Emit(p.a.Un(ir.Jump, ir.Void, p.a.NewLab(endL)))
 		p.fn.EmitLabel(elseL)
 		p.statement()
 		p.fn.EmitLabel(endL)
@@ -512,7 +615,7 @@ func (p *parser) whileStmt() {
 	p.statement()
 	p.breakLs = p.breakLs[:len(p.breakLs)-1]
 	p.contLs = p.contLs[:len(p.contLs)-1]
-	p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(top)))
+	p.fn.Emit(p.a.Un(ir.Jump, ir.Void, p.a.NewLab(top)))
 	p.fn.EmitLabel(end)
 }
 
@@ -568,7 +671,7 @@ func (p *parser) forStmt() {
 	if post != nil {
 		p.emitExprStmt(*post)
 	}
-	p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(top)))
+	p.fn.Emit(p.a.Un(ir.Jump, ir.Void, p.a.NewLab(top)))
 	p.fn.EmitLabel(end)
 }
 
@@ -586,10 +689,10 @@ func (p *parser) switchStmt() {
 		tempOff: p.allocSwitchTemp(),
 		endL:    p.fn.NewLabel(),
 	}
-	lv := expr{lv: ir.FrameRef(ir.Long, sw.tempOff), t: ctype{base: ir.Long}}
+	lv := expr{lv: p.a.FrameRef(ir.Long, sw.tempOff), t: ctype{base: ir.Long}}
 	p.emitExprStmt(p.buildAssign(lv, e))
 	dispatchL := p.fn.NewLabel()
-	p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(dispatchL)))
+	p.fn.Emit(p.a.Un(ir.Jump, ir.Void, p.a.NewLab(dispatchL)))
 
 	p.switches = append(p.switches, sw)
 	p.breakLs = append(p.breakLs, sw.endL)
@@ -598,15 +701,15 @@ func (p *parser) switchStmt() {
 	p.switches = p.switches[:len(p.switches)-1]
 
 	// Falling off the body leaves the switch.
-	p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(sw.endL)))
+	p.fn.Emit(p.a.Un(ir.Jump, ir.Void, p.a.NewLab(sw.endL)))
 	p.fn.EmitLabel(dispatchL)
-	read := func() *ir.Node { return ir.FrameRef(ir.Long, sw.tempOff) }
+	read := func() *ir.Node { return p.a.FrameRef(ir.Long, sw.tempOff) }
 	for _, c := range sw.cases {
-		cond := ir.Bin(ir.Eq, ir.Long, read(), ir.SmallConst(c.value))
-		p.fn.Emit(&ir.Node{Op: ir.CBranch, Kids: []*ir.Node{cond, ir.NewLab(c.label)}})
+		cond := p.a.Bin(ir.Eq, ir.Long, read(), p.a.SmallConst(c.value))
+		p.fn.Emit(p.cbranch(cond, c.label))
 	}
 	if sw.defaultL != 0 {
-		p.fn.Emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(sw.defaultL)))
+		p.fn.Emit(p.a.Un(ir.Jump, ir.Void, p.a.NewLab(sw.defaultL)))
 	}
 	p.fn.EmitLabel(sw.endL)
 }
@@ -667,7 +770,7 @@ func (p *parser) defaultLabel() {
 
 func (p *parser) returnStmt() {
 	if p.accept(";") {
-		p.fn.Emit(&ir.Node{Op: ir.Ret, Type: ir.Void})
+		p.fn.Emit(p.newNode(ir.Ret, ir.Void))
 		return
 	}
 	e := p.expr()
@@ -687,19 +790,36 @@ func (p *parser) returnStmt() {
 			retT = ir.Long
 		}
 	}
-	p.fn.Emit(&ir.Node{Op: ir.Ret, Type: retT, Kids: []*ir.Node{n}})
+	ret := p.newNode(ir.Ret, retT)
+	ret.Kids = p.a.Kids(n)
+	p.fn.Emit(ret)
 }
 
 // branchIfTrue emits a conditional branch taken when the expression is
 // non-zero. Boolean structure (&&, ||, !) is left in the tree for the code
 // generator's explicit-control-flow phase to rewrite (§5.1.1).
 func (p *parser) branchIfTrue(cond expr, label int) {
-	p.fn.Emit(&ir.Node{Op: ir.CBranch, Kids: []*ir.Node{p.boolNode(cond), ir.NewLab(label)}})
+	p.fn.Emit(p.cbranch(p.boolNode(cond), label))
 }
 
 func (p *parser) branchIfFalse(cond expr, label int) {
-	n := &ir.Node{Op: ir.Not, Type: ir.Long, Kids: []*ir.Node{p.boolNode(cond)}}
-	p.fn.Emit(&ir.Node{Op: ir.CBranch, Kids: []*ir.Node{n, ir.NewLab(label)}})
+	n := p.a.Un(ir.Not, ir.Long, p.boolNode(cond))
+	p.fn.Emit(p.cbranch(n, label))
+}
+
+// newNode returns an arena node with operator and type set.
+func (p *parser) newNode(op ir.Op, t ir.Type) *ir.Node {
+	n := p.a.New()
+	n.Op, n.Type = op, t
+	return n
+}
+
+// cbranch returns a conditional branch to label on cond.
+func (p *parser) cbranch(cond *ir.Node, label int) *ir.Node {
+	n := p.a.New()
+	n.Op = ir.CBranch
+	n.Kids = p.a.Kids(cond, p.a.NewLab(label))
+	return n
 }
 
 // boolNode returns the tree used as a truth value.

@@ -23,6 +23,14 @@ type Options struct {
 	// Transform configures phase 1 (e.g. disabling reverse operators).
 	Transform transform.Options
 
+	// Arena, if non-nil, supplies the nodes phase 1 builds replacement
+	// trees from. The caller owns it and must keep it alive until the
+	// Result is in hand (the Result itself never aliases arena memory —
+	// Asm is a copied string). The sequential path uses it directly; the
+	// parallel path gives each worker a pooled arena of its own instead,
+	// since arenas are single-owner.
+	Arena *ir.Arena
+
 	// Tables overrides the instruction-selection tables (used by the
 	// experiments that rebuild tables from modified grammars). Nil means
 	// the standard VAX tables.
@@ -205,7 +213,7 @@ func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, 
 func transformFunc(f *ir.Func, opt Options) (*ir.Func, error) {
 	o := opt.Obs
 	tsp := o.Start("transform")
-	tf, err := transform.Func(f, opt.Transform)
+	tf, err := transform.FuncArena(f, opt.Transform, opt.Arena)
 	tsp.End()
 	return tf, err
 }
@@ -334,6 +342,21 @@ func compileFuncsParallel(out *vax.Emitter, t *tablegen.Tables, u *ir.Unit, opt 
 	errs := make([]error, n)
 	bases := make([]int, n)
 
+	// Arenas are single-owner, so the workers cannot share opt.Arena: each
+	// worker transforms into a pooled arena of its own. The transformed
+	// trees are read again by the phase 2–4 pool (whose workers need not
+	// line up with the phase-1 workers), so every arena stays alive until
+	// the whole unit is stitched and is only then released.
+	arenas := make([]*ir.Arena, workers)
+	for w := range arenas {
+		arenas[w] = ir.AcquireArena()
+	}
+	defer func() {
+		for _, a := range arenas {
+			a.Release()
+		}
+	}()
+
 	// pool runs work(i) for every function index on the worker pool; each
 	// worker records into its own shard of opt.Obs for the duration.
 	pool := func(work func(i int, wopt Options)) {
@@ -343,10 +366,11 @@ func compileFuncsParallel(out *vax.Emitter, t *tablegen.Tables, u *ir.Unit, opt 
 		for w := 0; w < workers; w++ {
 			shards[w] = o.Shard()
 			wg.Add(1)
-			go func(so *obs.Observer) {
+			go func(so *obs.Observer, wa *ir.Arena) {
 				defer wg.Done()
 				wopt := opt
 				wopt.Obs = so
+				wopt.Arena = wa
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= n {
@@ -354,7 +378,7 @@ func compileFuncsParallel(out *vax.Emitter, t *tablegen.Tables, u *ir.Unit, opt 
 					}
 					work(i, wopt)
 				}
-			}(shards[w])
+			}(shards[w], arenas[w])
 		}
 		wg.Wait()
 		for _, s := range shards {

@@ -23,15 +23,15 @@ func (c *ctx) value(n *ir.Node, indirSize int) (*ir.Node, error) {
 		// Calls always require the registers to be free, so the result is
 		// factored into a compiler temporary (§5.1.1).
 		off := c.f.AllocTemp(n.Type)
-		c.emit(ir.Bin(ir.Assign, n.Type, ir.FrameRef(n.Type, off), leaf))
-		return ir.FrameRef(n.Type, off), nil
+		c.emit(c.a.Bin(ir.Assign, n.Type, c.a.FrameRef(n.Type, off), leaf))
+		return c.a.FrameRef(n.Type, off), nil
 
 	case ir.Indir:
 		a, err := c.value(n.Kids[0], n.Type.Size())
 		if err != nil {
 			return nil, err
 		}
-		return ir.Un(ir.Indir, n.Type, a), nil
+		return c.a.Un(ir.Indir, n.Type, a), nil
 
 	case ir.PostInc, ir.PostDec, ir.PreInc, ir.PreDec:
 		return c.incDecValue(n, indirSize)
@@ -55,10 +55,10 @@ func (c *ctx) value(n *ir.Node, indirSize int) (*ir.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ir.Bin(ir.Assign, n.Type, dst, src), nil
+		return c.a.Bin(ir.Assign, n.Type, dst, src), nil
 
 	default:
-		kids := make([]*ir.Node, len(n.Kids))
+		kids := c.a.MakeKids(len(n.Kids))
 		for i, k := range n.Kids {
 			nk, err := c.value(k, 0)
 			if err != nil {
@@ -66,9 +66,10 @@ func (c *ctx) value(n *ir.Node, indirSize int) (*ir.Node, error) {
 			}
 			kids[i] = nk
 		}
-		m := *n
+		m := c.a.New()
+		*m = *n
 		m.Kids = kids
-		return &m, nil
+		return m, nil
 	}
 }
 
@@ -87,9 +88,11 @@ func (c *ctx) lowerCallToLeaf(n *ir.Node) (*ir.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.emit(ir.Un(ir.Arg, at, c.order(c.canon(v))))
+		c.emit(c.a.Un(ir.Arg, at, c.order(c.canon(v))))
 	}
-	return &ir.Node{Op: ir.Call, Type: n.Type, Sym: n.Sym, Val: n.Val}, nil
+	call := c.newNode(ir.Call, n.Type)
+	call.Sym, call.Val = n.Sym, n.Val
+	return call, nil
 }
 
 // incDecValue rewrites an increment/decrement operator used as a value.
@@ -108,13 +111,13 @@ func (c *ctx) incDecValue(n *ir.Node, indirSize int) (*ir.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	read := readOf(nlv)
+	read := c.readOf(nlv)
 	op := ir.Plus
 	if n.Op == ir.PostDec || n.Op == ir.PreDec {
 		op = ir.Minus
 	}
 	update := func() {
-		asg := ir.Bin(ir.Assign, n.Type, nlv.Clone(), ir.Bin(op, n.Type, readOf(nlv), amt))
+		asg := c.a.Bin(ir.Assign, n.Type, c.a.Clone(nlv), c.a.Bin(op, n.Type, c.readOf(nlv), amt))
 		c.emit(c.order(c.canon(asg)))
 	}
 	if n.Op == ir.PreInc || n.Op == ir.PreDec {
@@ -123,9 +126,9 @@ func (c *ctx) incDecValue(n *ir.Node, indirSize int) (*ir.Node, error) {
 	}
 	// Postfix: save the old value first.
 	off := c.f.AllocTemp(n.Type)
-	c.emit(ir.Bin(ir.Assign, n.Type, ir.FrameRef(n.Type, off), read))
+	c.emit(c.a.Bin(ir.Assign, n.Type, c.a.FrameRef(n.Type, off), read))
 	update()
-	return ir.FrameRef(n.Type, off), nil
+	return c.a.FrameRef(n.Type, off), nil
 }
 
 // tempDest allocates a destination for a truth value or selection: a
@@ -136,12 +139,13 @@ func (c *ctx) incDecValue(n *ir.Node, indirSize int) (*ir.Node, error) {
 func (c *ctx) tempDest(t ir.Type) (store func() *ir.Node, use *ir.Node) {
 	if !t.IsFloat() && !c.stmtHasCall {
 		if r := c.allocP1Reg(); r >= 0 {
-			return func() *ir.Node { return ir.NewDreg(t, r) },
-				&ir.Node{Op: ir.RegUse, Type: t, Val: int64(r)}
+			use := c.newNode(ir.RegUse, t)
+			use.Val = int64(r)
+			return func() *ir.Node { return c.a.NewDreg(t, r) }, use
 		}
 	}
 	off := c.f.AllocTemp(t)
-	return func() *ir.Node { return ir.FrameRef(t, off) }, ir.FrameRef(t, off)
+	return func() *ir.Node { return c.a.FrameRef(t, off) }, c.a.FrameRef(t, off)
 }
 
 // boolValue builds the 0/1 value of a boolean expression with branches.
@@ -154,10 +158,10 @@ func (c *ctx) boolValue(n *ir.Node) (*ir.Node, error) {
 	if err := c.branchTrue(n, trueL); err != nil {
 		return nil, err
 	}
-	c.emit(ir.Bin(ir.Assign, t, store(), ir.NewConst(ir.Byte, 0)))
-	c.emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(doneL)))
+	c.emit(c.a.Bin(ir.Assign, t, store(), c.a.NewConst(ir.Byte, 0)))
+	c.emit(c.a.Un(ir.Jump, ir.Void, c.a.NewLab(doneL)))
 	c.f.EmitLabel(trueL)
-	c.emit(ir.Bin(ir.Assign, t, store(), ir.NewConst(ir.Byte, 1)))
+	c.emit(c.a.Bin(ir.Assign, t, store(), c.a.NewConst(ir.Byte, 1)))
 	c.f.EmitLabel(doneL)
 	return use, nil
 }
@@ -175,14 +179,14 @@ func (c *ctx) selectValue(n *ir.Node) (*ir.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.emit(c.order(c.canon(ir.Bin(ir.Assign, n.Type, store(), a))))
-	c.emit(ir.Un(ir.Jump, ir.Void, ir.NewLab(doneL)))
+	c.emit(c.order(c.canon(c.a.Bin(ir.Assign, n.Type, store(), a))))
+	c.emit(c.a.Un(ir.Jump, ir.Void, c.a.NewLab(doneL)))
 	c.f.EmitLabel(elseL)
 	b, err := c.value(n.Kids[2], 0)
 	if err != nil {
 		return nil, err
 	}
-	c.emit(c.order(c.canon(ir.Bin(ir.Assign, n.Type, store(), b))))
+	c.emit(c.order(c.canon(c.a.Bin(ir.Assign, n.Type, store(), b))))
 	c.f.EmitLabel(doneL)
 	return use, nil
 }
@@ -254,7 +258,7 @@ func (c *ctx) emitCmpBranch(cond *ir.Node, label int, negate bool) error {
 			t = l.Type
 		}
 	default:
-		rel, l, r = ir.RNE, cond, ir.NewConst(ir.Byte, 0)
+		rel, l, r = ir.RNE, cond, c.a.NewConst(ir.Byte, 0)
 		t = cond.Type
 	}
 	if negate {
@@ -272,8 +276,11 @@ func (c *ctx) emitCmpBranch(cond *ir.Node, label int, negate bool) error {
 	if err != nil {
 		return err
 	}
-	cmp := ir.NewCmp(t, rel, c.order(c.canon(nl)), c.order(c.canon(nr)))
-	c.emit(&ir.Node{Op: ir.CBranch, Kids: []*ir.Node{cmp, ir.NewLab(label)}})
+	cmp := c.a.NewCmp(t, rel, c.order(c.canon(nl)), c.order(c.canon(nr)))
+	br := c.a.New()
+	br.Op = ir.CBranch
+	br.Kids = c.a.Kids(cmp, c.a.NewLab(label))
+	c.emit(br)
 	return nil
 }
 
@@ -292,12 +299,12 @@ func (c *ctx) canon(n *ir.Node) *ir.Node {
 		// Left shift by a constant becomes multiplication by a power of
 		// two, exposing the scaled-index addressing patterns.
 		if sh := n.Kids[1]; sh.Op == ir.Const && sh.Val >= 0 && sh.Val < 31 && n.Type.IsInteger() && !n.Type.IsUnsigned() {
-			return c.canon(ir.Bin(ir.Mul, n.Type, ir.SmallConst(int64(1)<<uint(sh.Val)), n.Kids[0]))
+			return c.canon(c.a.Bin(ir.Mul, n.Type, c.a.SmallConst(int64(1)<<uint(sh.Val)), n.Kids[0]))
 		}
 	case ir.Minus:
 		// Subtraction of a constant becomes addition.
 		if k := n.Kids[1]; k.Op == ir.Const && n.Type.IsInteger() && k.Val != -(1<<31) {
-			return c.canon(ir.Bin(ir.Plus, n.Type, ir.SmallConst(-k.Val), n.Kids[0]))
+			return c.canon(c.a.Bin(ir.Plus, n.Type, c.a.SmallConst(-k.Val), n.Kids[0]))
 		}
 	case ir.Plus, ir.Mul, ir.And, ir.Or, ir.Xor:
 		// A constant operand is forced to be the left child.
@@ -401,7 +408,9 @@ func (c *ctx) order(n *ir.Node) *ir.Node {
 	}
 	if rev, ok := n.Op.Reverse(); ok {
 		c.stats.Reversed++
-		return &ir.Node{Op: rev, Type: n.Type, Kids: []*ir.Node{b, a}}
+		m := c.newNode(rev, n.Type)
+		m.Kids = c.a.Kids(b, a)
+		return m
 	}
 	return n
 }

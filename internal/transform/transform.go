@@ -37,11 +37,20 @@ type Options struct {
 }
 
 // Unit transforms every function of a unit, returning a new unit that
-// shares the globals.
+// shares the globals. Replacement nodes are heap-allocated.
 func Unit(u *ir.Unit, opt Options) (*ir.Unit, error) {
+	return UnitArena(u, opt, nil)
+}
+
+// UnitArena is Unit with an explicit arena for replacement nodes. The
+// output trees alias both the arena and the input unit (leaves the rewrite
+// leaves untouched are shared), so the caller must keep a and the input
+// unit's own allocation alive until the output is consumed. A nil arena
+// heap-allocates.
+func UnitArena(u *ir.Unit, opt Options, a *ir.Arena) (*ir.Unit, error) {
 	out := &ir.Unit{Globals: u.Globals}
 	for _, f := range u.Funcs {
-		nf, err := Func(f, opt)
+		nf, err := FuncArena(f, opt, a)
 		if err != nil {
 			return nil, err
 		}
@@ -73,8 +82,15 @@ func TakeStats() Stats {
 	}
 }
 
-// Func transforms one function.
+// Func transforms one function, heap-allocating replacement nodes.
 func Func(f *ir.Func, opt Options) (*ir.Func, error) {
+	return FuncArena(f, opt, nil)
+}
+
+// FuncArena transforms one function, drawing replacement nodes from a (nil
+// falls back to the heap). Output trees may alias input trees: untouched
+// subtrees are shared, not copied.
+func FuncArena(f *ir.Func, opt Options, a *ir.Arena) (*ir.Func, error) {
 	maxLabel := 0
 	for _, it := range f.Items {
 		if it.Kind == ir.ItemLabel && it.Label > maxLabel {
@@ -91,7 +107,7 @@ func Func(f *ir.Func, opt Options) (*ir.Func, error) {
 	}
 	out := &ir.Func{Name: f.Name, FrameSize: f.TotalFrame()}
 	out.SetLabelBase(maxLabel)
-	c := &ctx{f: out, opt: opt}
+	c := &ctx{f: out, opt: opt, a: a}
 	for _, it := range f.Items {
 		if it.Kind == ir.ItemLabel {
 			out.EmitLabel(it.Label)
@@ -109,6 +125,7 @@ func Func(f *ir.Func, opt Options) (*ir.Func, error) {
 type ctx struct {
 	f     *ir.Func
 	opt   Options
+	a     *ir.Arena // replacement-node arena; nil means heap allocation
 	stats Stats
 
 	// Phase-1 register allocation for truth values and selections: taken
@@ -155,6 +172,13 @@ func (c *ctx) freeP1Regs() {
 // emit appends a finished statement tree.
 func (c *ctx) emit(n *ir.Node) { c.f.Emit(n) }
 
+// newNode returns an arena node with operator and type set.
+func (c *ctx) newNode(op ir.Op, t ir.Type) *ir.Node {
+	n := c.a.New()
+	n.Op, n.Type = op, t
+	return n
+}
+
 // stmt rewrites one statement tree, emitting one or more statements.
 func (c *ctx) stmt(n *ir.Node) error {
 	defer c.freeP1Regs()
@@ -175,7 +199,7 @@ func (c *ctx) stmt(n *ir.Node) error {
 
 	case ir.Ret:
 		if len(n.Kids) == 0 || n.Type == ir.Void {
-			c.emit(&ir.Node{Op: ir.Ret, Type: ir.Void})
+			c.emit(c.newNode(ir.Ret, ir.Void))
 			return nil
 		}
 		k := n.Kids[0]
@@ -186,14 +210,18 @@ func (c *ctx) stmt(n *ir.Node) error {
 			if err != nil {
 				return err
 			}
-			c.emit(&ir.Node{Op: ir.Ret, Type: n.Type, Kids: []*ir.Node{leaf}})
+			ret := c.newNode(ir.Ret, n.Type)
+			ret.Kids = c.a.Kids(leaf)
+			c.emit(ret)
 			return nil
 		}
 		v, err := c.value(k, 0)
 		if err != nil {
 			return err
 		}
-		c.emit(&ir.Node{Op: ir.Ret, Type: n.Type, Kids: []*ir.Node{c.order(c.canon(v))}})
+		ret := c.newNode(ir.Ret, n.Type)
+		ret.Kids = c.a.Kids(c.order(c.canon(v)))
+		c.emit(ret)
 		return nil
 
 	case ir.Arg:
@@ -201,7 +229,7 @@ func (c *ctx) stmt(n *ir.Node) error {
 		if err != nil {
 			return err
 		}
-		c.emit(ir.Un(ir.Arg, n.Type, c.order(c.canon(v))))
+		c.emit(c.a.Un(ir.Arg, n.Type, c.order(c.canon(v))))
 		return nil
 
 	case ir.Call:
@@ -262,7 +290,7 @@ func (c *ctx) assignStmt(n *ir.Node) error {
 		if err != nil {
 			return err
 		}
-		c.emit(ir.Bin(ir.Assign, n.Type, c.canon(d), leaf))
+		c.emit(c.a.Bin(ir.Assign, n.Type, c.canon(d), leaf))
 		return nil
 	}
 	d, err := c.lvalue(dst)
@@ -273,7 +301,7 @@ func (c *ctx) assignStmt(n *ir.Node) error {
 	if err != nil {
 		return err
 	}
-	asg := ir.Bin(ir.Assign, n.Type, d, s)
+	asg := c.a.Bin(ir.Assign, n.Type, d, s)
 	c.emit(c.order(c.canon(asg)))
 	return nil
 }
@@ -307,7 +335,7 @@ func (c *ctx) lvalue(n *ir.Node) (*ir.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ir.Un(ir.Indir, n.Type, a), nil
+		return c.a.Un(ir.Indir, n.Type, a), nil
 	}
 	return nil, fmt.Errorf("bad assignment destination %v", n.Op)
 }
@@ -317,25 +345,25 @@ func (c *ctx) incDecStmt(n *ir.Node) error {
 	if err != nil {
 		return err
 	}
-	read := readOf(lv)
+	read := c.readOf(lv)
 	amt := n.Kids[1]
 	op := ir.Plus
 	if n.Op == ir.PostDec || n.Op == ir.PreDec {
 		op = ir.Minus
 	}
-	asg := ir.Bin(ir.Assign, n.Type, lv.Clone(), ir.Bin(op, n.Type, read, amt))
+	asg := c.a.Bin(ir.Assign, n.Type, c.a.Clone(lv), c.a.Bin(op, n.Type, read, amt))
 	c.emit(c.order(c.canon(asg)))
 	return nil
 }
 
 // readOf builds the rvalue that fetches from an lvalue tree.
-func readOf(lv *ir.Node) *ir.Node {
+func (c *ctx) readOf(lv *ir.Node) *ir.Node {
 	switch lv.Op {
 	case ir.Name:
-		return ir.Un(ir.Indir, lv.Type, lv.Clone())
+		return c.a.Un(ir.Indir, lv.Type, c.a.Clone(lv))
 	case ir.Dreg:
-		return lv.Clone()
+		return c.a.Clone(lv)
 	default: // Indir
-		return lv.Clone()
+		return c.a.Clone(lv)
 	}
 }

@@ -164,11 +164,20 @@ func EmitGlobals(e *Emitter, globals []ir.Global) {
 }
 
 // FuncHeader emits the label and entry mask for a function and allocates
-// its frame.
+// its frame. The prologue is formatted by direct appends — function-heavy
+// units emit one per function, and this is the last per-function format
+// call on the output path.
 func FuncHeader(e *Emitter, name string, frameBytes int) {
-	e.Raw(fmt.Sprintf(".globl _%s", name))
-	e.Raw("_" + name + ":\t.word 0")
+	e.buf = append(e.buf, ".globl _"...)
+	e.buf = append(e.buf, name...)
+	e.buf = append(e.buf, "\n_"...)
+	e.buf = append(e.buf, name...)
+	e.buf = append(e.buf, ":\t.word 0\n"...)
 	if frameBytes > 0 {
-		e.Emit("subl2", fmt.Sprintf("$%d", frameBytes), "sp")
+		e.buf = append(e.buf, "\tsubl2\t$"...)
+		e.buf = strconv.AppendInt(e.buf, int64(frameBytes), 10)
+		e.buf = append(e.buf, ",sp\n"...)
+		e.lines++ // counted exactly as the former Emit("subl2", ...) was
 	}
+	e.lastResultReg = -1
 }
