@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ggcg/internal/benchfmt"
@@ -29,25 +30,36 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := run(os.Stdin, os.Stdout, *num, *den, *max); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole gate: decode the benchjson document on stdin, take the
+// best ns/op of each side, print the verdict line, and return an error
+// when the ratio exceeds the ceiling (or the input is unusable).
+func run(stdin io.Reader, stdout io.Writer, num, den string, max float64) error {
 	var set benchfmt.Set
-	if err := json.NewDecoder(os.Stdin).Decode(&set); err != nil {
-		fatal(fmt.Errorf("decoding stdin: %v", err))
+	if err := json.NewDecoder(stdin).Decode(&set); err != nil {
+		return fmt.Errorf("decoding stdin: %v", err)
 	}
 
-	a, err := bestNsOp(&set, *num)
+	a, err := bestNsOp(&set, num)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	b, err := bestNsOp(&set, *den)
+	b, err := bestNsOp(&set, den)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ratio := a / b
-	fmt.Printf("benchgate: %s %.0f ns/op / %s %.0f ns/op = %.3f (ceiling %.3f)\n",
-		*num, a, *den, b, ratio, *max)
-	if ratio > *max {
-		fatal(fmt.Errorf("ratio %.3f exceeds ceiling %.3f", ratio, *max))
+	fmt.Fprintf(stdout, "benchgate: %s %.0f ns/op / %s %.0f ns/op = %.3f (ceiling %.3f)\n",
+		num, a, den, b, ratio, max)
+	if ratio > max {
+		return fmt.Errorf("ratio %.3f exceeds ceiling %.3f", ratio, max)
 	}
+	return nil
 }
 
 // bestNsOp returns the minimum ns/op across every result with the given
@@ -72,9 +84,4 @@ func bestNsOp(set *benchfmt.Set, name string) (float64, error) {
 		return 0, fmt.Errorf("no ns/op result named %s in input", name)
 	}
 	return best, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchgate:", err)
-	os.Exit(1)
 }

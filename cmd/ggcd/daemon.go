@@ -1,0 +1,46 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// daemon wraps a server with the process-level serve/shutdown lifecycle so
+// the graceful-drain behavior is testable in-process: main wires it to a
+// real listener and a signal context, tests wire it to a loopback listener
+// and a context they cancel like a SIGTERM would.
+type daemon struct {
+	srv   *server
+	http  *http.Server
+	drain time.Duration
+}
+
+func newDaemon(cfg serverConfig, drain time.Duration) *daemon {
+	s := newServer(cfg)
+	return &daemon{
+		srv:   s,
+		http:  &http.Server{Handler: s.mux},
+		drain: drain,
+	}
+}
+
+// serve accepts connections on ln until ctx is canceled, then drains:
+// listeners close immediately (new connections are refused), in-flight
+// requests get up to d.drain to finish. The return value is nil on a clean
+// drain, the Shutdown error when the window expired with requests still
+// running, and the Serve error if the listener failed first.
+func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- d.http.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), d.drain)
+	defer cancel()
+	return d.http.Shutdown(shCtx)
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon runs d.serve on a loopback listener and returns the base URL
+// and a channel carrying serve's eventual return value.
+func startDaemon(t *testing.T, d *daemon, ctx context.Context) (string, <-chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- d.serve(ctx, ln) }()
+	return "http://" + ln.Addr().String(), served
+}
+
+// TestGracefulSigtermDrain delivers a real SIGTERM to the test process
+// (caught by the same signal.NotifyContext wiring main uses) while a
+// compile request is deliberately held in flight, and asserts the daemon
+// drains: the in-flight request completes with 200, new connections are
+// refused, and serve returns cleanly within the drain window.
+func TestGracefulSigtermDrain(t *testing.T) {
+	started := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	d := newDaemon(serverConfig{
+		Timeout:        30 * time.Second,
+		compileStarted: started,
+		compileGate:    gate,
+	}, 5*time.Second)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	url, served := startDaemon(t, d, ctx)
+
+	// Hold one compile in flight.
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/compile", "text/plain", strings.NewReader(prog))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resc <- result{status: resp.StatusCode, body: string(b)}
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("compile request never started")
+	}
+
+	// SIGTERM arrives with the request still gated.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGTERM did not cancel the signal context")
+	}
+
+	// The listener must already be closed while the drain waits on the
+	// in-flight request: new connections are refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := http.Get(url + "/healthz")
+		if err != nil {
+			break // refused: the listener is down
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after SIGTERM")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case err := <-served:
+		t.Fatalf("serve returned %v before the in-flight request finished", err)
+	default:
+	}
+
+	// Release the gated compile: it must run to completion and answer 200.
+	close(gate)
+	select {
+	case res := <-resc:
+		if res.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("in-flight request got %d during drain: %s", res.status, res.body)
+		}
+		if !strings.Contains(res.body, "_main:") {
+			t.Errorf("drained response is not assembly:\n%s", res.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request did not complete after gate release")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+}
+
+// TestDrainWindowExpires: when an in-flight request outlives the drain
+// window, serve reports the incomplete drain (main turns this into a
+// non-zero exit) instead of hanging forever.
+func TestDrainWindowExpires(t *testing.T) {
+	started := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	d := newDaemon(serverConfig{
+		Timeout:        30 * time.Second,
+		compileStarted: started,
+		compileGate:    gate,
+	}, 50*time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	url, served := startDaemon(t, d, ctx)
+
+	go func() {
+		resp, err := http.Post(url+"/compile", "text/plain", strings.NewReader(prog))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("compile request never started")
+	}
+
+	cancel() // shutdown with the request still gated
+	select {
+	case err := <-served:
+		if err == nil {
+			t.Fatal("serve returned nil, want a drain-deadline error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after the drain window expired")
+	}
+	close(gate) // unblock the goroutine so the test process can exit cleanly
+}

@@ -38,7 +38,7 @@ import (
 	"context"
 	"flag"
 	"log"
-	"net/http"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,38 +67,33 @@ func main() {
 	}
 	log.Printf("ggcd: tables built in %v", time.Since(start).Round(time.Millisecond))
 
-	srv := newServer(serverConfig{
+	d := newDaemon(serverConfig{
 		Timeout: *timeout, MaxSource: *maxSource,
 		CacheEntries: *cacheEntries, CacheBytes: *cacheBytes,
-	})
+	}, *drain)
 	if *cacheEntries > 0 {
 		log.Printf("ggcd: compile cache: %d entries / %d bytes", *cacheEntries, *cacheBytes)
 	} else {
 		log.Printf("ggcd: compile cache disabled")
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ggcd: listen: %v", err)
+	}
+	log.Printf("ggcd: listening on %s", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("ggcd: listening on %s", *addr)
-		errc <- httpSrv.ListenAndServe()
-	}()
-
-	select {
-	case err := <-errc:
+	err = d.serve(ctx, ln)
+	if ctx.Err() == nil {
 		log.Fatalf("ggcd: serve: %v", err)
-	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("ggcd: shutting down (drain %v)", *drain)
-	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := httpSrv.Shutdown(shCtx); err != nil {
+	if err != nil {
 		log.Printf("ggcd: drain incomplete: %v", err)
 		os.Exit(1)
 	}
-	log.Printf("ggcd: served %d compile requests", srv.reg.Counter("requests"))
+	log.Printf("ggcd: served %d compile requests", d.srv.reg.Counter("requests"))
 }

@@ -30,6 +30,13 @@ type serverConfig struct {
 	// caching enabled uses the compcache default byte budget.
 	CacheEntries int
 	CacheBytes   int64
+
+	// compileStarted and compileGate are test hooks: when set, the compile
+	// goroutine announces itself on compileStarted and then blocks on
+	// compileGate before doing any work, so a test can hold a request
+	// in flight across a shutdown and release it on cue.
+	compileStarted chan<- struct{}
+	compileGate    <-chan struct{}
 }
 
 // server is the daemon's handler set plus its cumulative registry and
@@ -172,6 +179,12 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	done := make(chan compiled, 1)
 	go func() {
+		if s.cfg.compileStarted != nil {
+			s.cfg.compileStarted <- struct{}{}
+		}
+		if s.cfg.compileGate != nil {
+			<-s.cfg.compileGate
+		}
 		out, err := ggcg.Compile(string(src), cfg)
 		o.Flush()
 		done <- compiled{out: out, o: o, err: err}

@@ -1,0 +1,403 @@
+// Package covguide is a coverage-guided mutation engine over progen
+// programs: the dynamic complement of the paper's §8 static table
+// statistics. A random program sweep exercises the productions the
+// generator's distribution happens to reach and then plateaus; this engine
+// measures, per candidate, which productions the SLR matcher reduced by
+// and which states it entered (via a sharded obs.Observer on the ordinary
+// gg compile), keeps a corpus of minimized programs that each contributed
+// new coverage, and mutates corpus members — biased toward grammar regions
+// still at zero — to push the frontier outward. At equal compile budget it
+// covers strictly more of the machine-description grammar than the random
+// sweep, and everything it evaluates can be cross-checked by the
+// differential oracle lattice on the way through.
+//
+// Determinism is load-bearing: a run is a pure function of (seed, budget,
+// corpus). Candidates are evaluated sequentially, the rng is a fixed LCG,
+// production cold-sets come from sorted observer queries, and shrink
+// probes measure against throwaway observers so the master's fire counts
+// reflect exactly the budgeted candidate evaluations. CI replays a run and
+// asserts the bitmap and corpus hashes reproduce.
+package covguide
+
+import (
+	"math/bits"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/codegen"
+	"ggcg/internal/diffexec"
+	"ggcg/internal/irinterp"
+	"ggcg/internal/obs"
+	"ggcg/internal/progen"
+)
+
+// Bitmap is a packed coverage set: production indices (or SLR state
+// numbers) as bit positions, the representation obs.CoverageBits emits.
+type Bitmap []uint64
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// orInto unions src into dst (growing dst as needed) and reports how many
+// bits were newly set.
+func orInto(dst Bitmap, src Bitmap) (Bitmap, int) {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	gain := 0
+	for i, w := range src {
+		nw := w &^ dst[i]
+		gain += bits.OnesCount64(nw)
+		dst[i] |= w
+	}
+	return dst, gain
+}
+
+// andNot returns the bits of b not present in cover.
+func andNot(b, cover Bitmap) Bitmap {
+	out := make(Bitmap, len(b))
+	for i, w := range b {
+		if i < len(cover) {
+			w &^= cover[i]
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// covers reports whether b contains every bit of need.
+func covers(b, need Bitmap) bool {
+	for i, w := range need {
+		if i < len(b) {
+			w &^= b[i]
+		}
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rng is the engine's deterministic LCG (the same recurrence progen uses).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Options configures a guided run.
+type Options struct {
+	// Seed is the base seed: the initial programs are progen.Generate(Seed),
+	// Generate(Seed+1), ... — the same family a random sweep at this seed
+	// starts from, so equal-budget comparisons share their prefix.
+	Seed int64
+
+	// Budget is the total number of candidate evaluations (each one gg
+	// compile with coverage measurement). Default 2000.
+	Budget int
+
+	// InitialSeeds is how many fresh progen programs are evaluated before
+	// mutation starts. Default 24.
+	InitialSeeds int
+
+	// ShrinkBudget bounds the minimization of each admitted corpus
+	// entrant (probe compiles run against throwaway observers; they
+	// consume neither Budget nor the report's fire counts). 0 takes the
+	// default of 250; negative disables minimization.
+	ShrinkBudget int
+
+	// Check, if non-nil, runs on every candidate the front end accepts
+	// (typically the differential oracle lattice). The run stops at the
+	// first failure and returns it alongside the partial result.
+	Check func(p *progen.Prog, candidate int) error
+
+	// SeedCorpus is replayed before anything else — a saved corpus from a
+	// previous run. Replay consumes Budget like any other candidate.
+	SeedCorpus []*progen.Prog
+}
+
+func (o *Options) defaults() {
+	if o.Budget <= 0 {
+		o.Budget = 2000
+	}
+	if o.InitialSeeds <= 0 {
+		o.InitialSeeds = 24
+	}
+	if o.ShrinkBudget == 0 {
+		o.ShrinkBudget = 250
+	}
+}
+
+// Entry is one corpus member: a minimized program that contributed
+// coverage no earlier candidate had.
+type Entry struct {
+	Prog *progen.Prog
+	Gain int // bits (productions + states) it was first to cover
+}
+
+// Result is what a run measured.
+type Result struct {
+	Prods  Bitmap // productions reduced by at least one candidate
+	States Bitmap // SLR states entered by at least one candidate
+	Corpus []*Entry
+
+	Candidates    int // candidate evaluations performed (≤ Budget)
+	CompileFailed int // candidates the front end (or code generator) rejected
+
+	// Obs is the master observer: production/state fire counts summed
+	// over exactly the budgeted candidate compilations.
+	Obs *obs.Observer
+}
+
+type engine struct {
+	opt    Options
+	r      *rng
+	res    *Result
+	seen   map[uint64]bool
+	muts   []mutator
+	corpus []*Entry // alias of res.Corpus, kept in sync
+}
+
+// measure compiles one candidate with a coverage shard and returns its
+// packed coverage. The shard merges into the master either way — a
+// half-compiled candidate's reductions are real reductions.
+func (e *engine) measure(p *progen.Prog) (prods, states Bitmap, ok bool) {
+	e.res.Candidates++
+	u, err := cfront.Compile(p.Render())
+	if err != nil {
+		e.res.CompileFailed++
+		return nil, nil, false
+	}
+	sh := e.res.Obs.Shard()
+	_, cerr := codegen.Compile(u, codegen.Options{Obs: sh})
+	e.res.Obs.Merge(sh)
+	if cerr != nil {
+		e.res.CompileFailed++
+		return nil, nil, false
+	}
+	pb, sb := sh.CoverageBits()
+	return Bitmap(pb), Bitmap(sb), true
+}
+
+// measureAlone is the shrink-probe variant: same compile, throwaway
+// observer, no budget or master-count impact.
+func measureAlone(p *progen.Prog) (prods, states Bitmap, ok bool) {
+	u, err := cfront.Compile(p.Render())
+	if err != nil {
+		return nil, nil, false
+	}
+	o := obs.New(obs.Config{})
+	if _, err := codegen.Compile(u, codegen.Options{Obs: o}); err != nil {
+		return nil, nil, false
+	}
+	pb, sb := o.CoverageBits()
+	return Bitmap(pb), Bitmap(sb), true
+}
+
+// measureRunnable is measureAlone plus an execution probe: the program
+// must also run to completion under the reference interpreter.
+func measureRunnable(p *progen.Prog) (prods, states Bitmap, ok bool) {
+	u, err := cfront.Compile(p.Render())
+	if err != nil {
+		return nil, nil, false
+	}
+	if _, err := irinterp.New(u).Call("main"); err != nil {
+		return nil, nil, false
+	}
+	o := obs.New(obs.Config{})
+	if _, err := codegen.Compile(u, codegen.Options{Obs: o}); err != nil {
+		return nil, nil, false
+	}
+	pb, sb := o.CoverageBits()
+	return Bitmap(pb), Bitmap(sb), true
+}
+
+// admit evaluates a candidate: union its coverage, and if it gained bits,
+// minimize it down to a program that still holds the gained bits and add
+// that to the corpus. Returns the oracle error, if any.
+func (e *engine) admit(p *progen.Prog) error {
+	pb, sb, ok := e.measure(p)
+	if !ok {
+		return nil
+	}
+	gainP := andNot(pb, e.res.Prods)
+	gainS := andNot(sb, e.res.States)
+	var gp, gs int
+	e.res.Prods, gp = orInto(e.res.Prods, pb)
+	e.res.States, gs = orInto(e.res.States, sb)
+	if gain := gp + gs; gain > 0 {
+		min := p
+		if e.opt.ShrinkBudget > 0 {
+			// Besides retaining the gained coverage bits, a minimized entry
+			// must stay executable: corpus members are mutation parents, and
+			// their offspring go through the differential oracle, which runs
+			// the program. Coverage alone is not enough — the front end
+			// accepts implicit declarations, so a shrink could delete a
+			// function main still calls and every compile-side probe would
+			// pass while irinterp (rightly) refuses to run the result.
+			min = diffexec.ShrinkProg(p, func(q *progen.Prog) bool {
+				qp, qs, qok := measureRunnable(q)
+				return qok && covers(qp, gainP) && covers(qs, gainS)
+			}, e.opt.ShrinkBudget)
+		}
+		en := &Entry{Prog: min, Gain: gain}
+		e.corpus = append(e.corpus, en)
+		e.res.Corpus = e.corpus
+	}
+	if e.opt.Check != nil {
+		if err := e.opt.Check(p, e.res.Candidates-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickParent selects a corpus member, weighted by 1+Gain so the programs
+// that opened the most new grammar pull more mutation attention.
+func (e *engine) pickParent() *Entry {
+	total := 0
+	for _, en := range e.corpus {
+		total += 1 + en.Gain
+	}
+	t := e.r.intn(total)
+	for _, en := range e.corpus {
+		t -= 1 + en.Gain
+		if t < 0 {
+			return en
+		}
+	}
+	return e.corpus[len(e.corpus)-1]
+}
+
+// Run executes a coverage-guided fuzzing run. A non-nil error is the
+// first oracle failure (the partial Result is still returned with it).
+func Run(opt Options) (*Result, error) {
+	opt.defaults()
+	e := &engine{
+		opt:  opt,
+		r:    &rng{s: uint64(opt.Seed)*0x9e3779b97f4a7c15 + 0xda3e39cb94b95bdb},
+		res:  &Result{Obs: obs.New(obs.Config{})},
+		seen: make(map[uint64]bool),
+		muts: mutators,
+	}
+	e.r.next()
+
+	// Replayed corpus first, then the fresh seed programs the random
+	// sweep would also start from.
+	for _, p := range opt.SeedCorpus {
+		if e.res.Candidates >= opt.Budget {
+			break
+		}
+		if h := p.Hash(); !e.seen[h] {
+			e.seen[h] = true
+			if err := e.admit(p); err != nil {
+				return e.res, err
+			}
+		}
+	}
+	for i := 0; i < opt.InitialSeeds && e.res.Candidates < opt.Budget; i++ {
+		p := progen.Generate(opt.Seed + int64(i))
+		if h := p.Hash(); e.seen[h] {
+			continue
+		} else {
+			e.seen[h] = true
+		}
+		if err := e.admit(p); err != nil {
+			return e.res, err
+		}
+	}
+
+	// Mutation loop. When no mutator can produce anything new from the
+	// corpus (tries exhausted), fall back to a fresh generated program
+	// from a seed range disjoint from the initial block.
+	fresh := int64(0)
+	for e.res.Candidates < opt.Budget {
+		var cand *progen.Prog
+		for tries := 0; tries < 50 && cand == nil; tries++ {
+			if len(e.corpus) == 0 {
+				break
+			}
+			parent := e.pickParent()
+			m := e.pickMutator()
+			q := parent.Prog.Clone()
+			if !m.fn(q, e.r, e) {
+				continue
+			}
+			if h := q.Hash(); !e.seen[h] {
+				e.seen[h] = true
+				cand = q
+			}
+		}
+		if cand == nil {
+			cand = progen.Generate(opt.Seed + 1_000_000 + fresh)
+			fresh++
+			if h := cand.Hash(); e.seen[h] {
+				continue
+			} else {
+				e.seen[h] = true
+			}
+		}
+		if err := e.admit(cand); err != nil {
+			return e.res, err
+		}
+	}
+	return e.res, nil
+}
+
+// RandomSweep measures the baseline at the same budget: programs
+// Generate(Seed), Generate(Seed+1), ... with identical coverage
+// accounting and no mutation. The comparison covguide exists to win.
+func RandomSweep(opt Options) (*Result, error) {
+	opt.defaults()
+	e := &engine{opt: opt, res: &Result{Obs: obs.New(obs.Config{})}}
+	for i := 0; i < opt.Budget; i++ {
+		p := progen.Generate(opt.Seed + int64(i))
+		pb, sb, ok := e.measure(p)
+		if !ok {
+			continue
+		}
+		e.res.Prods, _ = orInto(e.res.Prods, pb)
+		e.res.States, _ = orInto(e.res.States, sb)
+		if opt.Check != nil {
+			if err := opt.Check(p, i); err != nil {
+				return e.res, err
+			}
+		}
+	}
+	return e.res, nil
+}
+
+// CorpusHash digests a corpus (in order) for replay-determinism checks.
+func CorpusHash(corpus []*Entry) uint64 {
+	h := uint64(14695981039346656037)
+	for _, en := range corpus {
+		eh := en.Prog.Hash()
+		for i := 0; i < 8; i++ {
+			h = (h ^ (eh >> (8 * i) & 0xff)) * 1099511628211
+		}
+	}
+	return h
+}
+
+// BitmapHash digests a bitmap pair for replay-determinism checks.
+func BitmapHash(prods, states Bitmap) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b Bitmap) {
+		for _, w := range b {
+			for i := 0; i < 8; i++ {
+				h = (h ^ (w >> (8 * i) & 0xff)) * 1099511628211
+			}
+		}
+	}
+	mix(prods)
+	mix(states)
+	return h
+}

@@ -1,0 +1,660 @@
+// Mutators: small structured edits of progen programs. Validity matters
+// (a candidate the front end rejects wastes a budget slot) but semantic
+// preservation does not — mutants are new test programs, not metamorphic
+// variants. What *is* load-bearing is staying inside the dialect's
+// well-defined envelope, so a mutant never diverges between the reference
+// interpreter and the simulator for boring reasons:
+//
+//   - never create a zero divisor: constants right of / or % are not
+//     perturbed, and operator swaps skip statements containing / or %
+//     (a swap inside a masked divisor pattern like ((x & 15) | 1) could
+//     zero it);
+//   - never unmask a shift count: constants and operator swaps skip
+//     statements containing << or >> (the counts are only safe because
+//     progen masks them with & 7 / & 15);
+//   - never index out of bounds: constants inside [...] are left alone
+//     (the interpreter and the simulator lay memory out differently, so
+//     an out-of-bounds store diverges without a compiler bug);
+//   - never break loop termination: relational swaps skip for/while
+//     statements;
+//   - float mutations keep F-typed expressions to a single operation
+//     (the simulator rounds every F intermediate through float32 in
+//     registers, the tree interpreter rounds only at loads and stores —
+//     multi-op F expressions diverge in the low bits), use doubles for
+//     chained arithmetic (exact float64 on both sides), and convert
+//     float to int only as a same-variable difference, which is exactly
+//     zero and cannot overflow.
+package covguide
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"ggcg/internal/progen"
+)
+
+// mutator is one edit family, with the production-name fragments it tends
+// to exercise: when any matching production is still uncovered, the
+// mutator's selection weight is boosted (the cold bias).
+type mutator struct {
+	name string
+	keys []string
+	fn   func(p *progen.Prog, r *rng, e *engine) bool
+}
+
+var mutators = []mutator{
+	{"splice", nil, spliceStmt},
+	{"graft", []string{"Plus", "Minus", "Mul", "And", "Or", "Xor", "Not", "Neg"}, graftExpr},
+	{"const", nil, perturbConst},
+	{"swap-op", nil, swapOp},
+	{"retarget", []string{"Cvt", "=.b", "=.w"}, lvalRetarget},
+	{"float", []string{".f", ".d", "cvt"}, floatStmt},
+	{"shift", []string{"Lsh", "Rsh", "lsh", "rsh"}, shiftStmt},
+	{"divmod", []string{"Div", "Mod", "div", "mod", "RDiv", "RMod"}, divmodStmt},
+	{"compound", []string{"asgor", "asgxor", "asgcompl", "asgnv", "rasgn", "Or.b", "Or.w", "Xor.b", "Xor.w", "Compl", "Mod.b", "Mod.w", "asgn.b"}, compoundStmt},
+}
+
+// pickMutator chooses a mutator with cold-production bias: each mutator's
+// weight is 1 plus 3 per still-uncovered production whose formatted rule
+// mentions one of its keys (capped, so one huge cold region cannot starve
+// the generic mutators entirely). NeverFired returns indices in sorted
+// order and the names come from the fixed grammar, so the choice is
+// deterministic.
+func (e *engine) pickMutator() mutator {
+	weights := make([]int, len(e.muts))
+	total := 0
+	cold := e.res.Obs.NeverFired()
+	for i, m := range e.muts {
+		w := 1
+		if len(m.keys) > 0 {
+			hits := 0
+			for _, pi := range cold {
+				name := e.res.Obs.ProdName(pi)
+				for _, k := range m.keys {
+					if strings.Contains(name, k) {
+						hits++
+						break
+					}
+				}
+			}
+			if hits > 8 {
+				hits = 8
+			}
+			w += 3 * hits
+		}
+		weights[i] = w
+		total += w
+	}
+	t := e.r.intn(total)
+	for i, w := range weights {
+		t -= w
+		if t < 0 {
+			return e.muts[i]
+		}
+	}
+	return e.muts[len(e.muts)-1]
+}
+
+// ---- identifier availability ---------------------------------------------
+
+// fixedGlobals is progen's global environment (progen.go globalDecls).
+var fixedGlobals = []string{"g0", "g1", "g2", "u0", "u1", "c0", "c1", "s0", "s1", "arr", "cbuf", "sbuf"}
+
+// fixedGlobalLines mirrors progen's globalDecls. Corpus members are
+// shrunk, and the shrinker deletes global declaration lines nothing
+// references — so a mutator that inserts a statement over the fixed
+// environment must first restore any lines its parent lost.
+var fixedGlobalLines = []string{
+	"int g0, g1, g2;",
+	"unsigned int u0, u1;",
+	"char c0, c1;",
+	"short s0, s1;",
+	"int arr[16];",
+	"char cbuf[8];",
+	"short sbuf[8];",
+}
+
+func ensureGlobals(p *progen.Prog) {
+	have := make(map[string]bool, len(p.Globals))
+	for _, g := range p.Globals {
+		have[g] = true
+	}
+	for _, line := range fixedGlobalLines {
+		if !have[line] {
+			p.Globals = append(p.Globals, line)
+		}
+	}
+}
+
+// floatGlobalLines are appended (once) by the float mutator.
+var floatGlobalLines = []string{"float fg0, fg1;", "double dg0;"}
+
+func hasFloatGlobals(p *progen.Prog) bool {
+	for _, g := range p.Globals {
+		if g == floatGlobalLines[0] {
+			return true
+		}
+	}
+	return false
+}
+
+func ensureFloatGlobals(p *progen.Prog) {
+	if !hasFloatGlobals(p) {
+		p.Globals = append(p.Globals, floatGlobalLines...)
+	}
+}
+
+var identRe = regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*`)
+
+var cKeywords = map[string]bool{
+	"int": true, "char": true, "short": true, "unsigned": true, "float": true,
+	"double": true, "if": true, "else": true, "while": true, "for": true,
+	"return": true,
+}
+
+// declName extracts the declared identifier from a declaration line like
+// "unsigned int lu = 87;" — the first non-keyword identifier.
+func declName(decl string) string {
+	for _, id := range identRe.FindAllString(decl, -1) {
+		if !cKeywords[id] {
+			return id
+		}
+	}
+	return ""
+}
+
+// availIdents is the set of identifiers statements in f may reference:
+// the fixed globals, float globals when declared, f's parameters and f's
+// local declarations.
+func availIdents(p *progen.Prog, f *progen.Fn) map[string]bool {
+	out := make(map[string]bool, 16)
+	for _, g := range fixedGlobals {
+		out[g] = true
+	}
+	if hasFloatGlobals(p) {
+		out["fg0"], out["fg1"], out["dg0"] = true, true, true
+	}
+	for _, prm := range f.Params {
+		if n := declName(prm); n != "" {
+			out[n] = true
+		}
+	}
+	for _, d := range f.Decls {
+		if n := declName(d); n != "" {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+var innerDeclRe = regexp.MustCompile(`\bint ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// callIdentRe matches a call site: identifier directly applied to an
+// argument list. Keyword heads (if/while/for/return) are filtered by the
+// caller.
+var callIdentRe = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)\s*\(`)
+
+func hasCall(stmt string) bool {
+	for _, m := range callIdentRe.FindAllStringSubmatch(stmt, -1) {
+		if !cKeywords[m[1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// loopBounded reports whether every loop header in stmt still tests a
+// variable. Donor statements come from minimized corpus members, where
+// coverage-preserving shrinks may have rewritten an *unreachable* loop's
+// condition to a constant (`while (0 < 5)`) — harmless where it sits,
+// an infinite loop the moment it is spliced into code that runs.
+func loopBounded(stmt string) bool {
+	for _, kw := range []string{"while (", "for ("} {
+		off := 0
+		for {
+			i := strings.Index(stmt[off:], kw)
+			if i < 0 {
+				break
+			}
+			start := off + i + len(kw)
+			depth, j := 1, start
+			for ; j < len(stmt) && depth > 0; j++ {
+				switch stmt[j] {
+				case '(':
+					depth++
+				case ')':
+					depth--
+				}
+			}
+			cond := stmt[start : j-1]
+			if kw == "for (" {
+				if parts := strings.Split(cond, ";"); len(parts) >= 2 {
+					cond = parts[1]
+				}
+			}
+			if !strings.ContainsFunc(cond, func(r rune) bool {
+				return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+			}) {
+				return false
+			}
+			off = start
+		}
+	}
+	return true
+}
+
+// spliceable reports whether a donor statement can live in (p, f): no
+// calls (the donor's callees need not exist here with that arity), every
+// loop it contains still bounded by a variable, and every identifier it
+// reads either available in f or declared by the statement itself (loop
+// blocks declare their counters).
+func spliceable(p *progen.Prog, f *progen.Fn, stmt string) bool {
+	if hasCall(stmt) || !loopBounded(stmt) {
+		return false
+	}
+	avail := availIdents(p, f)
+	for _, m := range innerDeclRe.FindAllStringSubmatch(stmt, -1) {
+		avail[m[1]] = true
+	}
+	for _, id := range identRe.FindAllString(stmt, -1) {
+		if !cKeywords[id] && !avail[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// insertStmt places stmt at a random top-level position in f.
+func insertStmt(f *progen.Fn, stmt string, r *rng) {
+	at := r.intn(len(f.Stmts) + 1)
+	f.Stmts = append(f.Stmts[:at], append([]string{stmt}, f.Stmts[at:]...)...)
+}
+
+func pickFn(p *progen.Prog, r *rng) *progen.Fn { return p.Funcs[r.intn(len(p.Funcs))] }
+
+// ---- the mutators --------------------------------------------------------
+
+// spliceStmt copies one statement from a corpus member into p.
+func spliceStmt(p *progen.Prog, r *rng, e *engine) bool {
+	ensureGlobals(p)
+	if len(e.corpus) == 0 || len(p.Funcs) == 0 {
+		return false
+	}
+	donor := e.corpus[r.intn(len(e.corpus))].Prog
+	var pool []string
+	for _, df := range donor.Funcs {
+		pool = append(pool, df.Stmts...)
+	}
+	if len(pool) == 0 {
+		return false
+	}
+	f := pickFn(p, r)
+	for tries := 0; tries < 8; tries++ {
+		stmt := pool[r.intn(len(pool))]
+		if spliceable(p, f, stmt) {
+			insertStmt(f, stmt, r)
+			return true
+		}
+	}
+	return false
+}
+
+// graft templates: integer expression shapes over always-available global
+// operands. Shift counts are masked, divisors forced odd-or-more nonzero.
+var graftTemplates = []string{
+	"((%s << (%s & 7)) >> (%s & 3))",
+	"(%s / ((%s & 15) | 1))",
+	"(%s %% ((%s & 7) | 3))",
+	"(~(%s) ^ (-(%s)))",
+	"((%s * 5) - (%s * %s))",
+	"((%s > %s) + (%s == %s))",
+	"((%s & %s) | (%s ^ 3))",
+}
+
+var graftOperands = []string{"g0", "g1", "g2", "u0", "u1", "c0", "s1", "7", "100", "-3"}
+var graftTargets = []string{"g0", "g1", "g2", "u0", "u1", "c0", "c1", "s0", "s1"}
+
+// graftExpr appends a fresh assignment built from an expression template.
+func graftExpr(p *progen.Prog, r *rng, _ *engine) bool {
+	ensureGlobals(p)
+	if len(p.Funcs) == 0 {
+		return false
+	}
+	tpl := graftTemplates[r.intn(len(graftTemplates))]
+	n := strings.Count(tpl, "%s")
+	args := make([]interface{}, n)
+	for i := range args {
+		args[i] = graftOperands[r.intn(len(graftOperands))]
+	}
+	target := graftTargets[r.intn(len(graftTargets))]
+	stmt := "\t" + target + " = " + fmt.Sprintf(tpl, args...) + ";\n"
+	insertStmt(pickFn(p, r), stmt, r)
+	return true
+}
+
+var intLitRe = regexp.MustCompile(`\d+`)
+
+// perturbConst nudges one integer literal. Statements containing shifts
+// are skipped entirely, literals inside index brackets and divisor
+// position are skipped, and float literals (digit adjacent to '.') are
+// left to the float mutator.
+func perturbConst(p *progen.Prog, r *rng, _ *engine) bool {
+	type site struct {
+		f      *progen.Fn
+		si     int
+		lo, hi int
+	}
+	var sites []site
+	for _, f := range p.Funcs {
+		for si, stmt := range f.Stmts {
+			if strings.ContainsAny(stmt, "/%") ||
+				strings.Contains(stmt, "<<") || strings.Contains(stmt, ">>") {
+				// Divisor guards are textual (`... | 1`): a perturbed
+				// literal anywhere in such a statement could zero one.
+				// Shift statements likewise keep their masks untouched.
+				continue
+			}
+			depth := 0
+			for _, loc := range intLitRe.FindAllStringIndex(stmt, -1) {
+				depth = 0
+				for i := 0; i < loc[0]; i++ {
+					switch stmt[i] {
+					case '[':
+						depth++
+					case ']':
+						depth--
+					}
+				}
+				if depth > 0 {
+					continue // index expression: keep in-bounds
+				}
+				if loc[0] > 0 && (isIdentByteCG(stmt[loc[0]-1]) || stmt[loc[0]-1] == '.') {
+					continue // part of an identifier or a float literal
+				}
+				if loc[1] < len(stmt) && stmt[loc[1]] == '.' {
+					continue
+				}
+				// Walk left over spaces; a divisor literal stays put.
+				j := loc[0] - 1
+				for j >= 0 && stmt[j] == ' ' {
+					j--
+				}
+				if j >= 0 && (stmt[j] == '/' || stmt[j] == '%') {
+					continue
+				}
+				sites = append(sites, site{f, si, loc[0], loc[1]})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return false
+	}
+	s := sites[r.intn(len(sites))]
+	stmt := s.f.Stmts[s.si]
+	v, err := strconv.Atoi(stmt[s.lo:s.hi])
+	if err != nil {
+		return false
+	}
+	v += []int{1, -1, 3, 17, 255}[r.intn(5)]
+	if v < 0 {
+		v = -v
+	}
+	s.f.Stmts[s.si] = stmt[:s.lo] + strconv.Itoa(v) + stmt[s.hi:]
+	return true
+}
+
+func isIdentByteCG(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// swap families. Relational swaps additionally skip loop statements.
+var swapFamilies = [][]string{
+	{" + ", " - "},
+	{" & ", " | ", " ^ "},
+	{" * ", " + "},
+	{" < ", " > ", " <= ", " >= ", " == ", " != "},
+}
+
+// swapOp replaces one binary operator occurrence with a family sibling.
+// Statements containing division, modulo or shifts are off-limits: the
+// swap could zero a masked divisor or unmask a shift count.
+func swapOp(p *progen.Prog, r *rng, _ *engine) bool {
+	type site struct {
+		f       *progen.Fn
+		si, fam int
+		lo      int
+		op      string
+	}
+	var sites []site
+	for _, f := range p.Funcs {
+		for si, stmt := range f.Stmts {
+			if strings.ContainsAny(stmt, "/%") || strings.Contains(stmt, "<<") || strings.Contains(stmt, ">>") {
+				continue
+			}
+			loop := strings.Contains(stmt, "for (") || strings.Contains(stmt, "while (")
+			for fi, fam := range swapFamilies {
+				if fi == 3 && loop {
+					continue
+				}
+				for _, op := range fam {
+					for at := 0; ; {
+						k := strings.Index(stmt[at:], op)
+						if k < 0 {
+							break
+						}
+						sites = append(sites, site{f, si, fi, at + k, op})
+						at += k + len(op)
+					}
+				}
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return false
+	}
+	s := sites[r.intn(len(sites))]
+	fam := swapFamilies[s.fam]
+	oi := 0
+	for i, op := range fam {
+		if op == s.op {
+			oi = i
+		}
+	}
+	to := fam[(oi+1+r.intn(len(fam)-1))%len(fam)]
+	stmt := s.f.Stmts[s.si]
+	// Guard against stale offsets from the multi-byte relational family
+	// (" <= " contains " < "): re-verify the operator is still there.
+	if !strings.HasPrefix(stmt[s.lo:], s.op) {
+		return false
+	}
+	s.f.Stmts[s.si] = stmt[:s.lo] + to + stmt[s.lo+len(s.op):]
+	return true
+}
+
+// retargets: scalar stores of every width (narrow stores exercise the
+// conversion sub-grammar) plus masked indexed stores.
+var retargets = []string{
+	"g0", "g1", "g2", "u0", "u1", "c0", "c1", "s0", "s1",
+	"arr[(g1 & 15)]", "cbuf[(g0 & 7)]", "sbuf[(u0 & 7)]",
+}
+
+// lvalRetarget redirects one simple assignment at a different location.
+func lvalRetarget(p *progen.Prog, r *rng, _ *engine) bool {
+	ensureGlobals(p)
+	type site struct {
+		f  *progen.Fn
+		si int
+		eq int
+	}
+	var sites []site
+	for _, f := range p.Funcs {
+		for si, stmt := range f.Stmts {
+			if strings.Contains(stmt, "{") || !strings.HasSuffix(stmt, ";\n") {
+				continue
+			}
+			// Float-valued right-hand sides stay on their original
+			// (float or zero-difference) targets: redirecting one at an
+			// int location would convert an unbounded float, and the
+			// overflow behavior is not part of the defined envelope.
+			if strings.Contains(stmt, ".") || strings.Contains(stmt, "fg") || strings.Contains(stmt, "dg0") {
+				continue
+			}
+			eq := strings.Index(stmt, " = ")
+			if eq < 0 || strings.ContainsAny(stmt[:eq], "=<>!+-*/%") {
+				continue
+			}
+			sites = append(sites, site{f, si, eq})
+		}
+	}
+	if len(sites) == 0 {
+		return false
+	}
+	s := sites[r.intn(len(sites))]
+	stmt := s.f.Stmts[s.si]
+	s.f.Stmts[s.si] = "\t" + retargets[r.intn(len(retargets))] + stmt[s.eq:]
+	return true
+}
+
+// float statement templates. F-typed arithmetic stays single-op; chained
+// arithmetic uses doubles; float→int conversion is a same-variable
+// difference (exactly zero, cannot overflow); comparisons appear only in
+// branch context. See the package comment for why each rule exists.
+var floatTemplates = []string{
+	"\tfg0 = (fg1 + %s);\n",
+	"\tfg1 = (fg0 * %s);\n",
+	"\tfg0 = (fg1 / 2.5);\n",
+	"\tdg0 = ((dg0 * %s) + fg0);\n",
+	"\tdg0 = ((dg0 / 4.5) - %s);\n",
+	"\tfg0 = dg0;\n",
+	"\tdg0 = fg1;\n",
+	"\tfg0 = c0;\n",
+	"\tfg1 = s1;\n",
+	"\tdg0 = g2;\n",
+	"\tg0 = (fg0 - fg0);\n",
+	"\tc0 = (fg1 - fg1);\n",
+	"\ts0 = (dg0 - dg0);\n",
+	"\tif (fg0 < fg1) {\n\tg1 = (g1 + 1);\n\t}\n",
+	"\tif (dg0 > 2.5) {\n\tg2 = (g2 ^ 5);\n\t}\n",
+	"\t{ int wf = 0; while (wf < 3 && fg0 < 100.5) {\n\tfg0 = (fg0 + 1.5);\n\twf++; } }\n",
+}
+
+var floatConsts = []string{"1.5", "2.25", "0.5", "3.0"}
+
+// floatStmt opens the floating half of the grammar: float/double
+// arithmetic, every conversion direction, float branch compares.
+func floatStmt(p *progen.Prog, r *rng, _ *engine) bool {
+	if len(p.Funcs) == 0 {
+		return false
+	}
+	ensureGlobals(p)
+	ensureFloatGlobals(p)
+	tpl := floatTemplates[r.intn(len(floatTemplates))]
+	if n := strings.Count(tpl, "%s"); n > 0 {
+		args := make([]interface{}, n)
+		for i := range args {
+			args[i] = floatConsts[r.intn(len(floatConsts))]
+		}
+		tpl = fmt.Sprintf(tpl, args...)
+	}
+	insertStmt(pickFn(p, r), tpl, r)
+	return true
+}
+
+// shift templates: masked counts, every operand width, both directions.
+var shiftTemplates = []string{
+	"\tg0 = (g1 << (g2 & 7));\n",
+	"\tg1 = (g2 >> (g0 & 15));\n",
+	"\tu0 = (u1 >> (g1 & 7));\n",
+	"\tu1 = (u0 << (u1 & 15));\n",
+	"\ts0 = (s1 << (g0 & 7));\n",
+	"\tc0 = (c1 >> (g1 & 3));\n",
+	"\tg2 = ((g0 & 255) << 4);\n",
+}
+
+func shiftStmt(p *progen.Prog, r *rng, _ *engine) bool {
+	ensureGlobals(p)
+	if len(p.Funcs) == 0 {
+		return false
+	}
+	insertStmt(pickFn(p, r), shiftTemplates[r.intn(len(shiftTemplates))], r)
+	return true
+}
+
+// divmod templates: nonzero divisors by construction, every width,
+// signed and unsigned (the reverse-division productions of §5.1.3 fire
+// when the divisor is already in a register).
+var divmodTemplates = []string{
+	"\tg0 = (g1 / ((g2 & 15) | 1));\n",
+	"\tg1 = (g2 %% ((g0 & 7) | 1));\n",
+	"\tu0 = (u1 / ((u0 & 31) | 3));\n",
+	"\tu1 = (u0 %% 97);\n",
+	"\ts0 = (s1 / 5);\n",
+	"\tc0 = (c1 %% 11);\n",
+	"\tg2 = (1000 / ((g1 & 7) | 2));\n",
+}
+
+func divmodStmt(p *progen.Prog, r *rng, _ *engine) bool {
+	ensureGlobals(p)
+	if len(p.Funcs) == 0 {
+		return false
+	}
+	tpl := divmodTemplates[r.intn(len(divmodTemplates))]
+	insertStmt(pickFn(p, r), strings.ReplaceAll(tpl, "%%", "%"), r)
+	return true
+}
+
+// compound templates: the narrow-width and compound-assignment corners of
+// the grammar a random progen sweep rarely reaches — byte/word ALU forms
+// (both operands narrow), |= ^= &= with complement, compound shifts with
+// masked or constant counts, compound division by nonzero constants, and
+// assignment-as-value (the asgnv/rasgnv productions, which only fire when
+// an Assign node appears in rvalue position).
+var compoundTemplates = []string{
+	"\tg0 |= (g1 & 60);\n",
+	"\tg1 ^= (g2 | 5);\n",
+	"\tg2 &= (~(g0));\n",
+	"\tc0 |= c1;\n",
+	"\tc1 ^= (c0 & 7);\n",
+	"\ts0 |= (s1 ^ 3);\n",
+	"\ts1 ^= s0;\n",
+	"\tc0 &= (~(c1));\n",
+	"\ts0 &= (~(s1));\n",
+	"\tc0 = (c0 & c1);\n",
+	"\tc1 = (c0 | c1);\n",
+	"\tc0 = (c1 ^ c0);\n",
+	"\ts0 = (s0 & s1);\n",
+	"\ts1 = (s0 | s1);\n",
+	"\ts0 = (s1 ^ s0);\n",
+	"\tc0 = (~(c1));\n",
+	"\ts0 = (~(s1));\n",
+	"\tc0 = s0;\n",
+	"\tc1 = g1;\n",
+	"\ts1 = g2;\n",
+	"\tu0 <<= (g0 & 3);\n",
+	"\tu1 >>= (g1 & 7);\n",
+	"\tc0 <<= 2;\n",
+	"\ts1 >>= 3;\n",
+	"\tg0 %%= 89;\n",
+	"\tg1 /= 7;\n",
+	"\tc0 %%= 5;\n",
+	"\ts0 %%= 9;\n",
+	"\tc1 /= 3;\n",
+	"\ts1 /= 11;\n",
+	"\tg0 = (c0 = s1);\n",
+	"\tg1 = (s0 = g2);\n",
+	"\tc1 = (c0 = g0);\n",
+	"\tg2 = (g0 + (c0 = c1));\n",
+	"\ts0 = (5 + (s1 = c0));\n",
+}
+
+func compoundStmt(p *progen.Prog, r *rng, _ *engine) bool {
+	ensureGlobals(p)
+	if len(p.Funcs) == 0 {
+		return false
+	}
+	tpl := compoundTemplates[r.intn(len(compoundTemplates))]
+	insertStmt(pickFn(p, r), strings.ReplaceAll(tpl, "%%", "%"), r)
+	return true
+}

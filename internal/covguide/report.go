@@ -1,0 +1,169 @@
+// Coverage reporting and corpus persistence. The per-production table is
+// the dynamic mirror of the paper's §8 machine-description statistics:
+// where §8 counts how often each production participates in the static
+// tables, this counts how often the matcher actually reduced by it over a
+// fuzzing run — and, more usefully, which productions no candidate has
+// ever fired. CI checks the covered-production count against a checked-in
+// floor so grammar coverage can only ratchet up.
+package covguide
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ggcg/internal/progen"
+)
+
+// ProdCount is one production's dynamic record.
+type ProdCount struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Fired int64  `json:"fired"`
+}
+
+// Report is the serializable outcome of a run.
+type Report struct {
+	Mode          string `json:"mode"` // "guided" or "random"
+	Seed          int64  `json:"seed"`
+	Budget        int    `json:"budget"`
+	Candidates    int    `json:"candidates"`
+	CompileFailed int    `json:"compile_failed"`
+	Productions   int    `json:"productions"` // universe size (augmented rule excluded)
+	CoveredProds  int    `json:"covered_prods"`
+	States        int    `json:"states"`
+	CoveredStates int    `json:"covered_states"`
+	CorpusSize    int    `json:"corpus_size"`
+
+	// Prods lists every production of the grammar in index order with its
+	// total fire count over the run (zero rows included: the never-fired
+	// set is the actionable part).
+	Prods []ProdCount `json:"prods"`
+}
+
+// Report summarizes a finished run.
+func (res *Result) Report(mode string, seed int64, budget int) *Report {
+	nProds, nStates := res.Obs.CoverageUniverse()
+	counts := res.Obs.ProdFireCounts()
+	rep := &Report{
+		Mode:          mode,
+		Seed:          seed,
+		Budget:        budget,
+		Candidates:    res.Candidates,
+		CompileFailed: res.CompileFailed,
+		Productions:   nProds,
+		CoveredProds:  res.Prods.Count(),
+		States:        nStates,
+		CoveredStates: res.States.Count(),
+		CorpusSize:    len(res.Corpus),
+	}
+	for i := 1; i <= nProds; i++ {
+		rep.Prods = append(rep.Prods, ProdCount{Index: i, Name: res.Obs.ProdName(i), Fired: counts[i]})
+	}
+	return rep
+}
+
+// WriteJSON serializes the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SaveReport writes the report to a file.
+func SaveReport(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadReport reads a report written by SaveReport.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteTable renders the human-readable coverage table: the summary, the
+// hottest productions, and the complete never-fired list (the part a
+// grammar author acts on).
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "mode %s  seed %d  budget %d  candidates %d  (front-end rejects %d)\n",
+		r.Mode, r.Seed, r.Budget, r.Candidates, r.CompileFailed)
+	fmt.Fprintf(w, "productions covered: %d/%d   states entered: %d/%d   corpus: %d\n",
+		r.CoveredProds, r.Productions, r.CoveredStates, r.States, r.CorpusSize)
+
+	hot := append([]ProdCount(nil), r.Prods...)
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Fired != hot[j].Fired {
+			return hot[i].Fired > hot[j].Fired
+		}
+		return hot[i].Index < hot[j].Index
+	})
+	n := 15
+	if n > len(hot) {
+		n = len(hot)
+	}
+	fmt.Fprintf(w, "\nhottest productions:\n")
+	for _, pc := range hot[:n] {
+		if pc.Fired == 0 {
+			break
+		}
+		fmt.Fprintf(w, "  %8d  #%-3d %s\n", pc.Fired, pc.Index, pc.Name)
+	}
+	var cold []ProdCount
+	for _, pc := range r.Prods {
+		if pc.Fired == 0 {
+			cold = append(cold, pc)
+		}
+	}
+	fmt.Fprintf(w, "\nnever fired (%d):\n", len(cold))
+	for _, pc := range cold {
+		fmt.Fprintf(w, "  #%-3d %s\n", pc.Index, pc.Name)
+	}
+}
+
+// SaveCorpus persists the corpus programs (in admission order) as JSON.
+// progen.Prog is plain exported data, so the round trip is exact.
+func SaveCorpus(path string, corpus []*Entry) error {
+	progs := make([]*progen.Prog, len(corpus))
+	for i, en := range corpus {
+		progs[i] = en.Prog
+	}
+	b, err := json.MarshalIndent(progs, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadCorpus reads a corpus written by SaveCorpus. A missing file is an
+// empty corpus, so first runs and warm runs share a code path.
+func LoadCorpus(path string) ([]*progen.Prog, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var progs []*progen.Prog
+	if err := json.Unmarshal(b, &progs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return progs, nil
+}

@@ -31,6 +31,7 @@ import (
 	"ggcg/internal/cfront"
 	"ggcg/internal/codegen"
 	"ggcg/internal/irinterp"
+	"ggcg/internal/obs"
 	"ggcg/internal/pcc"
 	"ggcg/internal/peep"
 	"ggcg/internal/progen"
@@ -58,6 +59,13 @@ type Config struct {
 	// own tests can inject a deliberate miscompilation into exactly one
 	// oracle and assert that the corresponding pair catches it.
 	MutateAsm func(oracle string, asm string) string
+
+	// Obs, if non-nil, instruments the primary table-driven compile (the
+	// gg oracle): production and state coverage accumulates into it. The
+	// fuzzing drivers pass per-worker shards here so a sweep's dynamic
+	// table coverage is measured by the same compilations that feed the
+	// oracle lattice, at no extra compile cost.
+	Obs *obs.Observer
 }
 
 func (c Config) mutate(oracle, asm string) string {
@@ -119,7 +127,7 @@ func Check(src string, cfg Config) error {
 	}
 
 	// Table-driven generator, packed comb-vector hot loop.
-	gg, err := codegen.Compile(u, codegen.Options{})
+	gg, err := codegen.Compile(u, codegen.Options{Obs: cfg.Obs})
 	if err != nil {
 		return &Mismatch{Pair: OracleGG + " vs " + OracleRef, Want: fmt.Sprint(ref),
 			Got: "<compile error>", Detail: err.Error()}
@@ -242,11 +250,24 @@ type Failure struct {
 	Err      error     // the underlying error (the Mismatch, or the generic error)
 	Source   string    // reduced source
 	Lines    int       // non-blank lines of Source
+
+	// ShrinkFailed reports that the shrinker's result no longer fails the
+	// check that the original program failed: the reduction fell through
+	// (or the failure is not deterministic), so Source is the ORIGINAL
+	// unreduced program and Err the original error. Drivers must surface
+	// this loudly — a shrinker that silently under-delivers would hide
+	// exactly the failures it exists to explain — and ggfuzz exits
+	// non-zero with the seed and the written reproducer path.
+	ShrinkFailed bool
 }
 
 func (f *Failure) Error() string {
-	return fmt.Sprintf("seed %d: %v\nreproduce: ggfuzz -seed %d -n 1\nreduced source (%d lines):\n%s",
-		f.Seed, f.Err, f.Seed, f.Lines, f.Source)
+	note := ""
+	if f.ShrinkFailed {
+		note = "\nshrinker failed: the reduced candidate no longer fails; reporting the original program"
+	}
+	return fmt.Sprintf("seed %d: %v%s\nreproduce: ggfuzz -seed %d -n 1\nreduced source (%d lines):\n%s",
+		f.Seed, f.Err, note, f.Seed, f.Lines, f.Source)
 }
 
 func (f *Failure) Unwrap() error { return f.Err }
@@ -255,7 +276,15 @@ func (f *Failure) Unwrap() error { return f.Err }
 // lattice, and on failure shrinks the program to a minimal reproducer.
 // The returned error is a *Failure carrying the seed and reduced source.
 func CheckSeed(seed int64, cfg Config) error {
-	p := progen.Generate(seed)
+	return CheckProg(progen.Generate(seed), seed, cfg)
+}
+
+// CheckProg is CheckSeed for an arbitrary structured program — the
+// coverage-guided fuzzer's mutants are not reproducible from a progen
+// seed alone, so its failures carry the engine seed plus the reduced
+// source, which is the reproducer. On failure the program is shrunk while
+// the same oracle pair keeps disagreeing and a *Failure is returned.
+func CheckProg(p *progen.Prog, seed int64, cfg Config) error {
 	err := Check(p.Render(), cfg)
 	if err == nil {
 		return nil
@@ -280,7 +309,13 @@ func CheckSeed(seed int64, cfg Config) error {
 	red := Shrink(p, pred)
 	final := Check(red.Render(), cfg)
 	if final == nil {
-		final = err // shrinking fell through; report the original
+		// Shrinking fell through: the reduced program passes. Report the
+		// original program and error, flagged so drivers can refuse to
+		// treat the reduction as a reproducer.
+		var omm *Mismatch
+		errors.As(err, &omm)
+		return &Failure{Seed: seed, Mismatch: omm, Err: err,
+			Source: p.Render(), Lines: p.Lines(), ShrinkFailed: true}
 	}
 	if mm != nil {
 		errors.As(final, &mm)

@@ -1,6 +1,12 @@
 package diffexec
 
-import "testing"
+import (
+	"testing"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/codegen"
+	"ggcg/internal/progen"
+)
 
 // FuzzDiffExec feeds fuzzer-chosen seeds through the full differential
 // harness: generate, compile along every path, cross-check every oracle
@@ -14,6 +20,31 @@ func FuzzDiffExec(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := CheckSeed(seed, Config{}); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzMetamorphic asserts the validity contract of the metamorphic
+// transformations over the progen domain: every variant of a valid
+// generated program must itself compile, front end through code
+// generator. (Execution equivalence is CheckMetaProg's job — this target
+// hunts for transforms that corrupt the program text or structure.)
+func FuzzMetamorphic(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 7, 23, 101, -5, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := progen.Generate(seed)
+		for _, v := range MetaVariants(p, seed, MetaRounds) {
+			u, err := cfront.Compile(v.Source)
+			if err != nil {
+				t.Fatalf("seed %d: %s variant does not compile: %v\nvariant source:\n%s",
+					seed, v.Transform, err, v.Source)
+			}
+			if _, err := codegen.Compile(u, codegen.Options{}); err != nil {
+				t.Fatalf("seed %d: %s variant fails code generation: %v\nvariant source:\n%s",
+					seed, v.Transform, err, v.Source)
+			}
 		}
 	})
 }

@@ -1,0 +1,596 @@
+// Metamorphic oracle layer: semantics-preserving source transformations
+// whose outputs must be execution-equivalent to the original program even
+// when the emitted assembly differs. The byte-equality oracles in Check
+// compare one program along redundant execution paths; a metamorphic
+// relation instead compares two *different* programs that provably compute
+// the same value, so it catches a divergence class byte equality is blind
+// to — a selector or peephole bug that miscompiles `x << 1` but not
+// `x * 2`, an evaluation-order bug exposed by reordering independent
+// statements, a liveness bug exposed by a dead store.
+//
+// Every transform here is semantics-preserving under the repository's
+// shared 32-bit wrap-around integer semantics (and IEEE float semantics
+// for commutative reorderings, which never reassociate):
+//
+//	commute     swap the operands of one commutative binary operator
+//	mul-shift   rewrite (x * 2) as (x << 1), or back
+//	neutral     wrap one parenthesized value as ((v) + 0) or ((v) * 1)
+//	reorder     swap two adjacent independent simple statements
+//	dead-store  assign an existing pure expression to a fresh unused local
+//
+// The first three are textual and apply to any source (the examples/c
+// suite included); the last two need statement structure and apply to
+// progen programs. Transform sites are chosen by a seeded deterministic
+// rng, so a variant set is reproducible from (program, seed, n) alone.
+package diffexec
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+
+	"ggcg/internal/cfront"
+	"ggcg/internal/codegen"
+	"ggcg/internal/irinterp"
+	"ggcg/internal/progen"
+	"ggcg/internal/vaxsim"
+)
+
+// MetaVariant is one metamorphic rewrite of a program.
+type MetaVariant struct {
+	Transform string // which transform produced it
+	Source    string // the rewritten program
+}
+
+// mrng is the same small deterministic LCG progen uses, local to the
+// metamorphic layer so variant selection is reproducible from the seed.
+type mrng struct{ s uint64 }
+
+func (r *mrng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *mrng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// ---- textual machinery --------------------------------------------------
+
+// parenSpans returns the [start,end) spans of every balanced
+// parenthesized group in s, in start order.
+func parenSpans(s string) [][2]int {
+	var spans [][2]int
+	var stack []int
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			stack = append(stack, i)
+		case ')':
+			if n := len(stack); n > 0 {
+				spans = append(spans, [2]int{stack[n-1], i + 1})
+				stack = stack[:n-1]
+			}
+		}
+	}
+	// Re-sort by start: the stack pops inner groups first.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j][0] < spans[j-1][0]; j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+	return spans
+}
+
+var callRe = regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*\s*\(`)
+
+// pure reports whether an expression fragment is free of side effects:
+// no calls, no increment/decrement, no assignment (compound included).
+// Comparison operators are not assignments.
+func pure(s string) bool {
+	if strings.Contains(s, "++") || strings.Contains(s, "--") || callRe.MatchString(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '=' {
+			continue
+		}
+		if i+1 < len(s) && s[i+1] == '=' {
+			i++ // ==
+			continue
+		}
+		if i > 0 && (s[i-1] == '=' || s[i-1] == '!' || s[i-1] == '<' || s[i-1] == '>') {
+			continue // second byte of ==, or !=, <=, >=
+		}
+		return false
+	}
+	return true
+}
+
+// topOps are the spaced binary operator tokens recognized at paren depth
+// zero, longest first so ` << ` is never misread as ` < `.
+var topOps = []string{
+	" << ", " >> ", " <= ", " >= ", " == ", " != ", " && ", " || ",
+	" + ", " - ", " * ", " / ", " % ", " & ", " | ", " ^ ",
+	" < ", " > ", " ? ", " : ",
+}
+
+// topLevelOps scans a group's content at depth zero and returns the
+// operator tokens found with their positions, in order.
+func topLevelOps(content string) (ops []string, pos []int) {
+	depth := 0
+	for i := 0; i < len(content); {
+		switch content[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		}
+		if depth == 0 && content[i] == ' ' {
+			matched := false
+			for _, op := range topOps {
+				if strings.HasPrefix(content[i:], op) {
+					ops = append(ops, op)
+					pos = append(pos, i)
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		i++
+	}
+	return ops, pos
+}
+
+// hasTopLevel reports whether any of the bytes occur at depth zero —
+// used to reject argument lists (`,`) and for-headers (`;`).
+func hasTopLevel(content string, bytes string) bool {
+	depth := 0
+	for i := 0; i < len(content); i++ {
+		switch content[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		}
+		if depth == 0 && strings.IndexByte(bytes, content[i]) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// isIdentByte reports an identifier-constituent byte (a group preceded by
+// one is a call's argument list, never a value group).
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// singleBinary splits a group's content when it holds exactly one
+// top-level binary operator, returning that operator and both sides.
+func singleBinary(content string) (op, lhs, rhs string, ok bool) {
+	ops, pos := topLevelOps(content)
+	if len(ops) != 1 {
+		return "", "", "", false
+	}
+	op = ops[0]
+	lhs, rhs = content[:pos[0]], content[pos[0]+len(op):]
+	if strings.TrimSpace(lhs) == "" || strings.TrimSpace(rhs) == "" {
+		return "", "", "", false
+	}
+	return op, lhs, rhs, true
+}
+
+// commutative operators whose operand swap preserves the value for both
+// wrap-around integers and IEEE floats (no reassociation, only a swap).
+var commutativeOps = map[string]bool{" + ": true, " * ": true, " & ": true, " | ": true, " ^ ": true}
+
+// relational-or-logical tokens: a group whose top level contains one is a
+// boolean context; wrapping it in arithmetic would turn a branch-context
+// comparison into a value-context comparison, which the reference
+// interpreter (deliberately) refuses for floating operands.
+var boolishOps = map[string]bool{
+	" < ": true, " > ": true, " <= ": true, " >= ": true, " == ": true,
+	" != ": true, " && ": true, " || ": true, " ? ": true, " : ": true,
+}
+
+// textSite is one applicable rewrite: replace src[span[0]:span[1]] with
+// repl.
+type textSite struct {
+	span [2]int
+	repl string
+}
+
+// valueGroup rejects paren groups that are not expression values: a call's
+// argument list (preceded by an identifier byte, and its commas are not
+// operators — treating `f1(t + 2, x)` as one binary `+` would move `t`
+// across the argument boundary) and a for-header (top-level `;`).
+func valueGroup(src string, sp [2]int) bool {
+	if sp[0] > 0 && isIdentByte(src[sp[0]-1]) {
+		return false
+	}
+	return !hasTopLevel(src[sp[0]+1:sp[1]-1], ",;")
+}
+
+// commuteSites finds every commutative operand swap.
+func commuteSites(src string) []textSite {
+	var sites []textSite
+	for _, sp := range parenSpans(src) {
+		if !valueGroup(src, sp) {
+			continue
+		}
+		content := src[sp[0]+1 : sp[1]-1]
+		op, lhs, rhs, ok := singleBinary(content)
+		if !ok || !commutativeOps[op] || !pure(content) {
+			continue
+		}
+		sites = append(sites, textSite{span: sp, repl: "(" + rhs + op + lhs + ")"})
+	}
+	return sites
+}
+
+// mulShiftSites finds every (x * 2) <-> (x << 1) rewrite.
+func mulShiftSites(src string) []textSite {
+	var sites []textSite
+	for _, sp := range parenSpans(src) {
+		if !valueGroup(src, sp) {
+			continue
+		}
+		content := src[sp[0]+1 : sp[1]-1]
+		op, lhs, rhs, ok := singleBinary(content)
+		if !ok {
+			continue
+		}
+		switch {
+		case op == " * " && strings.TrimSpace(rhs) == "2":
+			sites = append(sites, textSite{span: sp, repl: "(" + lhs + " << 1)"})
+		case op == " << " && strings.TrimSpace(rhs) == "1":
+			sites = append(sites, textSite{span: sp, repl: "(" + lhs + " * 2)"})
+		}
+	}
+	return sites
+}
+
+// neutralSites finds every parenthesized value group that can be wrapped
+// with a neutral element: ((v) + 0) or ((v) * 1). Both are also identity
+// operations on floats, so the sites need no type knowledge; boolean
+// contexts are skipped (see boolishOps).
+func neutralSites(src string) []textSite {
+	var sites []textSite
+	for _, sp := range parenSpans(src) {
+		if !valueGroup(src, sp) {
+			continue
+		}
+		content := src[sp[0]+1 : sp[1]-1]
+		if strings.TrimSpace(content) == "" {
+			continue
+		}
+		ops, _ := topLevelOps(content)
+		boolish := false
+		for _, op := range ops {
+			if boolishOps[op] {
+				boolish = true
+				break
+			}
+		}
+		if boolish {
+			continue
+		}
+		group := src[sp[0]:sp[1]]
+		sites = append(sites,
+			textSite{span: sp, repl: "(" + group + " + 0)"},
+			textSite{span: sp, repl: "(" + group + " * 1)"})
+	}
+	return sites
+}
+
+// textTransforms are the transforms that operate on raw source text.
+var textTransforms = []struct {
+	name  string
+	sites func(src string) []textSite
+}{
+	{"commute", commuteSites},
+	{"mul-shift", mulShiftSites},
+	{"neutral", neutralSites},
+}
+
+func applyTextSite(src string, s textSite) string {
+	return src[:s.span[0]] + s.repl + src[s.span[1]:]
+}
+
+// ---- structured transforms ----------------------------------------------
+
+var identScanRe = regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*`)
+
+// identsOf returns the set of identifiers a fragment mentions, keywords
+// excluded.
+func identsOf(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, id := range identScanRe.FindAllString(s, -1) {
+		if !keywords[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// simpleAssign splits a statement of the form "\tLVALUE = EXPR;\n" (plain
+// assignment only). The lvalue base identifier is returned separately so
+// dependence analysis can treat an indexed store as writing its array.
+func simpleAssign(stmt string) (lval, base, rhs string, ok bool) {
+	s := strings.TrimSuffix(strings.TrimPrefix(stmt, "\t"), "\n")
+	if !strings.HasSuffix(s, ";") || strings.Contains(s, "{") {
+		return "", "", "", false
+	}
+	s = strings.TrimSuffix(s, ";")
+	i := strings.Index(s, " = ")
+	if i < 0 || strings.Contains(s[:i], "=") {
+		return "", "", "", false
+	}
+	lval, rhs = s[:i], s[i+3:]
+	m := identScanRe.FindString(lval)
+	if m == "" {
+		return "", "", "", false
+	}
+	return lval, m, rhs, true
+}
+
+// independent reports whether two adjacent simple assignments can be
+// swapped: neither statement mentions the other's written base at all
+// (an indexed store counts as touching the whole array), and both are
+// pure on the right-hand side.
+func independent(a, b string) bool {
+	lvalA, baseA, rhsA, okA := simpleAssign(a)
+	lvalB, baseB, rhsB, okB := simpleAssign(b)
+	if !okA || !okB {
+		return false
+	}
+	if !pure(lvalA) || !pure(rhsA) || !pure(lvalB) || !pure(rhsB) {
+		return false
+	}
+	return baseA != baseB && !identsOf(b)[baseA] && !identsOf(a)[baseB]
+}
+
+// reorderVariant swaps one adjacent independent statement pair.
+func reorderVariant(p *progen.Prog, r *mrng) (*progen.Prog, bool) {
+	type site struct{ fi, si int }
+	var sites []site
+	for fi, f := range p.Funcs {
+		for si := 0; si+1 < len(f.Stmts); si++ {
+			if independent(f.Stmts[si], f.Stmts[si+1]) {
+				sites = append(sites, site{fi, si})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil, false
+	}
+	s := sites[r.intn(len(sites))]
+	q := p.Clone()
+	st := q.Funcs[s.fi].Stmts
+	st[s.si], st[s.si+1] = st[s.si+1], st[s.si]
+	return q, true
+}
+
+// deadStoreVariant declares a fresh never-read local and assigns it the
+// right-hand side of an existing pure assignment in the same function —
+// the optimizer must not let the extra store perturb the live values.
+func deadStoreVariant(p *progen.Prog, r *mrng) (*progen.Prog, bool) {
+	type site struct{ fi, si int }
+	var sites []site
+	for fi, f := range p.Funcs {
+		for si, st := range f.Stmts {
+			if _, _, rhs, ok := simpleAssign(st); ok && pure(rhs) {
+				sites = append(sites, site{fi, si})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil, false
+	}
+	s := sites[r.intn(len(sites))]
+	q := p.Clone()
+	f := q.Funcs[s.fi]
+	_, _, rhs, _ := simpleAssign(f.Stmts[s.si])
+	name := fmt.Sprintf("zq%d", len(f.Decls))
+	f.Decls = append(f.Decls, "int "+name+" = 0;")
+	dead := "\t" + name + " = " + rhs + ";\n"
+	f.Stmts = append(f.Stmts[:s.si+1], append([]string{dead}, f.Stmts[s.si+1:]...)...)
+	return q, true
+}
+
+// ---- variant generation --------------------------------------------------
+
+// metaSeedMix decorrelates the variant rng from the progen seed space.
+func metaSeedMix(seed int64) uint64 { return uint64(seed)*0x9e3779b97f4a7c15 + 0x517cc1b727220a95 }
+
+// MetaVariantsSrc derives up to n metamorphic variants of raw source text
+// using the textual transforms (commute, mul-shift, neutral). Site choice
+// is seeded and deterministic; duplicate variants are dropped.
+func MetaVariantsSrc(src string, seed int64, n int) []MetaVariant {
+	r := &mrng{s: metaSeedMix(seed)}
+	r.next()
+	var out []MetaVariant
+	seen := map[string]bool{src: true}
+	for round := 0; len(out) < n && round < 4*n; round++ {
+		t := textTransforms[round%len(textTransforms)]
+		sites := t.sites(src)
+		if len(sites) == 0 {
+			continue
+		}
+		v := applyTextSite(src, sites[r.intn(len(sites))])
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, MetaVariant{Transform: t.name, Source: v})
+		}
+	}
+	return out
+}
+
+// MetaVariants derives up to n variants of a structured program: the
+// textual transforms plus the statement-level ones (reorder, dead-store)
+// that need program structure.
+func MetaVariants(p *progen.Prog, seed int64, n int) []MetaVariant {
+	r := &mrng{s: metaSeedMix(seed)}
+	r.next()
+	src := p.Render()
+	var out []MetaVariant
+	seen := map[string]bool{src: true}
+	add := func(name, v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, MetaVariant{Transform: name, Source: v})
+		}
+	}
+	total := len(textTransforms) + 2
+	for round := 0; len(out) < n && round < 4*n; round++ {
+		switch k := round % total; {
+		case k < len(textTransforms):
+			t := textTransforms[k]
+			sites := t.sites(src)
+			if len(sites) == 0 {
+				continue
+			}
+			add(t.name, applyTextSite(src, sites[r.intn(len(sites))]))
+		case k == len(textTransforms):
+			if q, ok := reorderVariant(p, r); ok {
+				add("reorder", q.Render())
+			}
+		default:
+			if q, ok := deadStoreVariant(p, r); ok {
+				add("dead-store", q.Render())
+			}
+		}
+	}
+	return out
+}
+
+// ---- the oracle ----------------------------------------------------------
+
+// MetaRounds is the default number of variants derived per program.
+const MetaRounds = 6
+
+// checkMetaVariants runs the execution-equivalence oracle: every variant,
+// interpreted and compiled (gg and gg-peep), must produce the original
+// reference value. lenient skips variants the front end rejects — the
+// guided fuzzer's mutants may place a transform site in a context the
+// dialect cannot re-parse (e.g. a float in an integer-only rewrite); over
+// pure progen programs FuzzMetamorphic separately asserts that never
+// happens.
+func checkMetaVariants(ref int64, variants []MetaVariant, lenient bool, cfg Config) error {
+	for _, v := range variants {
+		pair := "metamorphic(" + v.Transform + ")"
+		u, err := cfront.Compile(v.Source)
+		if err != nil {
+			if lenient {
+				continue
+			}
+			return fmt.Errorf("%s: variant does not compile: %w\nvariant source:\n%s", pair, err, v.Source)
+		}
+		ref2, err := irinterp.New(u).Call("main")
+		if err != nil {
+			return fmt.Errorf("%s: variant reference execution: %w\nvariant source:\n%s", pair, err, v.Source)
+		}
+		if ref2 != ref {
+			return &Mismatch{Pair: pair + " irinterp vs irinterp", Want: fmt.Sprint(ref), Got: fmt.Sprint(ref2),
+				Detail: "the transform itself changed the reference value\nvariant source:\n" + v.Source}
+		}
+		for _, oc := range []struct {
+			name string
+			opt  codegen.Options
+		}{
+			{OracleGG, codegen.Options{}},
+			{OracleGGPeep, codegen.Options{Peephole: true}},
+		} {
+			out, err := codegen.Compile(u, oc.opt)
+			if err != nil {
+				return &Mismatch{Pair: pair + " " + oc.name + " vs " + OracleRef, Want: "<compiles>",
+					Got: "<compile error>", Detail: err.Error() + "\nvariant source:\n" + v.Source}
+			}
+			asm := cfg.mutate(oc.name, out.Asm)
+			prog, err := vaxsim.Assemble(asm)
+			if err != nil {
+				return &Mismatch{Pair: pair + " " + oc.name + " vs " + OracleRef, Want: fmt.Sprint(ref),
+					Got: "<assembly error>", Detail: err.Error()}
+			}
+			got, err := vaxsim.New(prog).Call("_main")
+			if err != nil {
+				return &Mismatch{Pair: pair + " " + oc.name + " vs " + OracleRef, Want: fmt.Sprint(ref),
+					Got: "<execution error>", Detail: err.Error() + "\nvariant source:\n" + v.Source}
+			}
+			if got != ref {
+				return &Mismatch{Pair: pair + " " + oc.name + " vs " + OracleRef,
+					Want: fmt.Sprint(ref), Got: fmt.Sprint(got),
+					Detail: "variant executes to a different value than the original\nvariant source:\n" + v.Source}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMetaSrc runs the metamorphic oracle over raw source text (strict:
+// a variant the front end rejects is itself a failure). It returns nil
+// when every variant is execution-equivalent to the original.
+func CheckMetaSrc(src string, seed int64, n int, cfg Config) error {
+	u, err := cfront.Compile(src)
+	if err != nil {
+		return fmt.Errorf("front end: %w", err)
+	}
+	ref, err := irinterp.New(u).Call("main")
+	if err != nil {
+		return fmt.Errorf("reference interpreter: %w", err)
+	}
+	return checkMetaVariants(ref, MetaVariantsSrc(src, seed, n), false, cfg)
+}
+
+// CheckMetaProg runs the metamorphic oracle over a structured program
+// (all five transforms) and, on failure, shrinks the program while the
+// same transform keeps failing, returning a *Failure exactly like
+// CheckProg. Variants the front end rejects are skipped (see
+// checkMetaVariants); FuzzMetamorphic holds the strict compile-validity
+// property over the pure progen domain.
+func CheckMetaProg(p *progen.Prog, seed int64, cfg Config) error {
+	metaCheck := func(q *progen.Prog) error {
+		u, err := cfront.Compile(q.Render())
+		if err != nil {
+			return fmt.Errorf("front end: %w", err)
+		}
+		ref, err := irinterp.New(u).Call("main")
+		if err != nil {
+			return fmt.Errorf("reference interpreter: %w", err)
+		}
+		return checkMetaVariants(ref, MetaVariants(q, seed, MetaRounds), true, cfg)
+	}
+	err := metaCheck(p)
+	if err == nil {
+		return nil
+	}
+	var mm *Mismatch
+	var pred func(*progen.Prog) bool
+	if errors.As(err, &mm) {
+		pair := mm.Pair
+		pred = func(q *progen.Prog) bool {
+			var m2 *Mismatch
+			return errors.As(metaCheck(q), &m2) && m2.Pair == pair
+		}
+	} else {
+		pred = func(q *progen.Prog) bool {
+			e := metaCheck(q)
+			var m2 *Mismatch
+			return e != nil && !errors.As(e, &m2)
+		}
+	}
+	red := ShrinkProg(p, pred, shrinkBudget)
+	final := metaCheck(red)
+	if final == nil {
+		var omm *Mismatch
+		errors.As(err, &omm)
+		return &Failure{Seed: seed, Mismatch: omm, Err: err,
+			Source: p.Render(), Lines: p.Lines(), ShrinkFailed: true}
+	}
+	errors.As(final, &mm)
+	return &Failure{Seed: seed, Mismatch: mm, Err: final, Source: red.Render(), Lines: red.Lines()}
+}

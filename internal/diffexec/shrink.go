@@ -20,7 +20,17 @@ const shrinkBudget = 2000
 // (Shrink never returns a candidate it hasn't checked, except p itself
 // when nothing could be removed).
 func Shrink(p *progen.Prog, fails func(src string) bool) *progen.Prog {
-	s := &shrinker{fails: fails, budget: shrinkBudget}
+	return ShrinkProg(p, func(c *progen.Prog) bool { return fails(c.Render()) }, shrinkBudget)
+}
+
+// ShrinkProg is Shrink with a structured predicate and an explicit
+// evaluation budget. The metamorphic oracle shrinks under predicates that
+// re-derive variants from the candidate program (not just its rendered
+// text), and the coverage-guided fuzzer minimizes corpus entrants under a
+// much smaller budget than a mismatch reproduction warrants — both reuse
+// this one reducer.
+func ShrinkProg(p *progen.Prog, fails func(*progen.Prog) bool, budget int) *progen.Prog {
+	s := &shrinker{fails: fails, budget: budget}
 	cur := p
 	for {
 		next, changed := s.pass(cur)
@@ -32,7 +42,7 @@ func Shrink(p *progen.Prog, fails func(src string) bool) *progen.Prog {
 }
 
 type shrinker struct {
-	fails  func(src string) bool
+	fails  func(*progen.Prog) bool
 	budget int
 }
 
@@ -42,7 +52,7 @@ func (s *shrinker) try(c *progen.Prog) bool {
 		return false
 	}
 	s.budget--
-	return s.fails(c.Render())
+	return s.fails(c)
 }
 
 // pass runs every reduction family once, keeping each candidate that still

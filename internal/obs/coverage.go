@@ -123,6 +123,41 @@ func (o *Observer) StateVisitCounts() map[int]int64 {
 	return out
 }
 
+// CoverageBits returns the fired-production and visited-state sets as
+// packed bitmaps: bit i of prods is set when production index i reduced at
+// least once, bit s of states when SLR state s was entered. The slices are
+// sized to the declared universe (or to the highest recorded index when no
+// universe is set), so two observers measured against the same tables
+// yield directly comparable words — the representation the coverage-guided
+// fuzzer unions and diffs per candidate without allocating count maps.
+func (o *Observer) CoverageBits() (prods, states []uint64) {
+	if o == nil {
+		return nil, nil
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	pn, sn := len(o.cov.fired), len(o.cov.states)
+	if o.cov.universe > pn {
+		pn = o.cov.universe
+	}
+	if o.cov.nStates > sn {
+		sn = o.cov.nStates
+	}
+	prods = make([]uint64, (pn+63)/64)
+	for i := range o.cov.fired {
+		if atomic.LoadInt64(&o.cov.fired[i]) > 0 {
+			prods[i/64] |= 1 << (i % 64)
+		}
+	}
+	states = make([]uint64, (sn+63)/64)
+	for i := range o.cov.states {
+		if atomic.LoadInt64(&o.cov.states[i]) > 0 {
+			states[i/64] |= 1 << (i % 64)
+		}
+	}
+	return prods, states
+}
+
 // NeverFired lists the production indices of the declared universe that no
 // reduction used, in index order. It requires SetCoverageUniverse; the
 // augmented rule (index 0) is excluded since acceptance, not reduction,

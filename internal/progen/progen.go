@@ -106,6 +106,22 @@ func (p *Prog) Render() string {
 	return b.String()
 }
 
+// Hash returns a stable FNV-1a digest of the rendered source. The
+// coverage-guided fuzzer uses it to deduplicate corpus candidates, and
+// replay tests use it to assert two runs produced identical corpora.
+func (p *Prog) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	s := p.Render()
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime
+	}
+	return h
+}
+
 // Lines counts the non-blank source lines Render produces — the size a
 // shrinker minimizes and the harness reports.
 func (p *Prog) Lines() int {
