@@ -6,8 +6,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"ggcg/internal/vax"
 )
 
 // BatchConfig configures CompileBatch.
@@ -112,8 +110,12 @@ func CompileBatch(srcs []string, cfg BatchConfig) ([]*Compiled, error) {
 	// where it would otherwise be invisible.
 	parent := cfg.Config.Observer
 	if !cfg.Config.Baseline {
+		mach, err := resolveTarget(cfg.Config)
+		if err != nil {
+			return nil, err
+		}
 		tsp := parent.Start("tables")
-		_, err := vax.Tables()
+		_, err = mach.Tables()
 		tsp.End()
 		if err != nil {
 			return nil, err

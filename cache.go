@@ -3,7 +3,6 @@ package ggcg
 import (
 	"ggcg/internal/compcache"
 	"ggcg/internal/tablegen"
-	"ggcg/internal/vax"
 )
 
 // Cache is a goroutine-safe, content-addressed compile-result cache: a
@@ -37,9 +36,10 @@ const compiledOverhead = 256
 // cacheFingerprint derives the configuration half of a cache key from a
 // Config: every knob that changes the output (Baseline, Peephole,
 // NoReverseOps), the caller's scope, the table wire-format version, and
-// — for the table-driven generator — the content identity of the shared
-// tables. Workers and Observer are deliberately excluded: parallel and
-// instrumented compilations are guaranteed byte-identical to plain ones.
+// — for the table-driven generator — the target's name plus the content
+// identity of its shared tables. Workers and Observer are deliberately
+// excluded: parallel and instrumented compilations are guaranteed
+// byte-identical to plain ones.
 func cacheFingerprint(cfg Config) (compcache.Fingerprint, error) {
 	fp := compcache.Fingerprint{
 		Baseline:        cfg.Baseline,
@@ -49,10 +49,15 @@ func cacheFingerprint(cfg Config) (compcache.Fingerprint, error) {
 		EncodingVersion: tablegen.EncodingVersion,
 	}
 	if !cfg.Baseline {
-		id, err := vax.TableID()
+		mach, err := resolveTarget(cfg)
 		if err != nil {
 			return fp, err
 		}
+		id, err := mach.TableID()
+		if err != nil {
+			return fp, err
+		}
+		fp.Target = mach.Name()
 		fp.TableID = id
 	}
 	return fp, nil

@@ -8,19 +8,23 @@
 // Endpoints:
 //
 //	POST /compile        source in the body, assembly out.
-//	                     Query: peephole=1, baseline=1, noreverse=1,
-//	                     workers=N (per-unit function parallelism),
-//	                     format=json (JSON response with stats and the
-//	                     request's span events instead of bare assembly).
+//	                     Query: target=name (backend to generate for,
+//	                     default vax; unknown names get 400 with the
+//	                     registered list), peephole=1, baseline=1,
+//	                     noreverse=1, workers=N (per-unit function
+//	                     parallelism), format=json (JSON response with
+//	                     stats and the request's span events instead of
+//	                     bare assembly).
 //	                     With the compile cache enabled (the default),
 //	                     repeated identical requests are served from a
 //	                     content-addressed store — concurrent duplicates
 //	                     coalesce onto one compile — and each response
 //	                     carries an X-GGCD-Cache: hit|miss header.
 //	GET  /metrics        Prometheus text exposition: cumulative request
-//	                     and pipeline counters, latency histograms with
-//	                     p50/p90/p99, per-phase span aggregates, table
-//	                     coverage
+//	                     and pipeline counters (including per-target
+//	                     request and unit series), latency histograms
+//	                     with p50/p90/p99, per-phase span aggregates,
+//	                     table coverage
 //	GET  /healthz        liveness (also verifies the tables are built)
 //	GET  /debug/vars     expvar
 //	GET  /debug/pprof/   runtime profiles

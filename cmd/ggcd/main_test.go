@@ -317,3 +317,77 @@ func TestNoCacheNoHeader(t *testing.T) {
 		t.Errorf("X-GGCD-Cache = %q on a cacheless server, want absent", state)
 	}
 }
+
+// TestCompileTargetParam: ?target= selects the backend, per-target series
+// count both admissions and generated units, and an unknown name is a 400
+// that lists what would have worked.
+func TestCompileTargetParam(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/compile?target=risc", "text/plain", strings.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	riscAsm, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("target=risc: status %d: %s", resp.StatusCode, riscAsm)
+	}
+	if !strings.Contains(string(riscAsm), "_main:") {
+		t.Errorf("response is not assembly:\n%s", riscAsm)
+	}
+
+	resp, err = http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vaxAsm, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(vaxAsm) == string(riscAsm) {
+		t.Error("risc and vax requests returned identical assembly")
+	}
+
+	for counter, want := range map[string]int64{
+		"requests.target.risc": 1,
+		"requests.target.vax":  1,
+		"codegen.target.risc":  1,
+		"codegen.target.vax":   1,
+	} {
+		if got := s.reg.Counter(counter); got != want {
+			t.Errorf("%s = %d, want %d", counter, got, want)
+		}
+	}
+
+	// The pre-registered series appear in a scrape even at zero.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, series := range []string{
+		"ggcd_requests_target_risc_total 1",
+		"ggcd_requests_target_vax_total 1",
+		"ggcd_codegen_target_risc_total 1",
+		"ggcd_codegen_target_vax_total 1",
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+
+	resp, err = http.Post(ts.URL+"/compile?target=z80", "text/plain", strings.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("target=z80: status %d, want 400", resp.StatusCode)
+	}
+	for _, want := range []string{"z80", "risc", "vax"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("400 body %q does not mention %q", body, want)
+		}
+	}
+}

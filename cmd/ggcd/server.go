@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"slices"
 	"strconv"
+	"strings"
 	"time"
 
 	"ggcg"
@@ -69,6 +71,17 @@ func newServer(cfg serverConfig) *server {
 	s.reg.Help("compile.ns", "wall time per compile request, ns")
 	s.reg.Help("source.bytes", "request source size, bytes")
 	s.reg.Help("asm.lines", "assembly lines per successful request")
+	// One series per registered backend, counted twice: requests.target.*
+	// at admission (every accepted request, including failures) and
+	// codegen.target.* from the merged per-request observers (units the
+	// table-driven generator actually compiled). Pre-registered at zero so
+	// a scrape shows every target's series before its first request.
+	for _, name := range ggcg.Targets() {
+		s.reg.Help("requests.target."+name, "compile requests for target "+name)
+		s.reg.Count("requests.target."+name, 0)
+		s.reg.Help("codegen.target."+name, "units generated for target "+name)
+		s.reg.Count("codegen.target."+name, 0)
+	}
 	if cfg.CacheEntries > 0 {
 		s.cache = ggcg.NewCache(ggcg.CacheConfig{
 			MaxEntries: cfg.CacheEntries,
@@ -141,9 +154,19 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	q := r.URL.Query()
 	cfg := ggcg.Config{
+		Target:       q.Get("target"),
 		Baseline:     q.Get("baseline") == "1",
 		Peephole:     q.Get("peephole") == "1",
 		NoReverseOps: q.Get("noreverse") == "1",
+	}
+	targetName := cfg.Target
+	if targetName == "" {
+		targetName = "vax"
+	}
+	if !slices.Contains(ggcg.Targets(), targetName) {
+		http.Error(w, fmt.Sprintf("ggcd: unknown target %q (registered: %s)",
+			cfg.Target, strings.Join(ggcg.Targets(), ", ")), http.StatusBadRequest)
+		return
 	}
 	if ws := q.Get("workers"); ws != "" {
 		n, err := strconv.Atoi(ws)
@@ -167,6 +190,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.reg.Count("requests", 1)
+	s.reg.Count("requests.target."+targetName, 1)
 	s.reg.Observe("source.bytes", int64(len(src)))
 
 	// Every request records into its own observer — span events included

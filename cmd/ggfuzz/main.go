@@ -27,6 +27,8 @@
 //	ggfuzz [flags]
 //
 //	-n N              number of candidates (seeds, or guided budget; default 1000)
+//	-target name      backend under differential test (default vax; the
+//	                  pcc oracles run only on the VAX)
 //	-seed S           base seed (default 1)
 //	-j W              parallel workers for the random sweep (0 = GOMAXPROCS)
 //	-q                suppress the progress line
@@ -59,6 +61,7 @@ import (
 func main() {
 	var (
 		n       = flag.Int("n", 1000, "number of candidates to check")
+		tgt     = flag.String("target", "", "backend under differential test (default vax)")
 		seed    = flag.Int64("seed", 1, "base seed")
 		jobs    = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("q", false, "suppress the progress line")
@@ -81,9 +84,9 @@ func main() {
 	var rep *covguide.Report
 	var err error
 	if *guided {
-		rep, err = runGuided(*seed, *n, *meta, *check, *corpus)
+		rep, err = runGuided(*seed, *n, *meta, *check, *corpus, *tgt)
 	} else {
-		rep, err = runRandom(*seed, *n, *jobs, *meta, *report != "" || *floor != "" || *table)
+		rep, err = runRandom(*seed, *n, *jobs, *meta, *report != "" || *floor != "" || *table, *tgt)
 	}
 	if err != nil {
 		fail(err, *reproTo)
@@ -150,18 +153,18 @@ func fail(err error, reproDir string) {
 }
 
 // candidateCheck composes the per-candidate oracles for the guided engine.
-func candidateCheck(meta, check bool) func(p *progen.Prog, cand int) error {
+func candidateCheck(meta, check bool, target string) func(p *progen.Prog, cand int) error {
 	if !meta && !check {
 		return nil
 	}
 	return func(p *progen.Prog, cand int) error {
 		if check {
-			if err := diffexec.CheckProg(p, int64(cand), diffexec.Config{}); err != nil {
+			if err := diffexec.CheckProg(p, int64(cand), diffexec.Config{Target: target}); err != nil {
 				return err
 			}
 		}
 		if meta {
-			if err := diffexec.CheckMetaProg(p, int64(cand), diffexec.Config{}); err != nil {
+			if err := diffexec.CheckMetaProg(p, int64(cand), diffexec.Config{Target: target}); err != nil {
 				return err
 			}
 		}
@@ -169,8 +172,8 @@ func candidateCheck(meta, check bool) func(p *progen.Prog, cand int) error {
 	}
 }
 
-func runGuided(seed int64, n int, meta, check bool, corpusPath string) (*covguide.Report, error) {
-	opt := covguide.Options{Seed: seed, Budget: n, Check: candidateCheck(meta, check)}
+func runGuided(seed int64, n int, meta, check bool, corpusPath, target string) (*covguide.Report, error) {
+	opt := covguide.Options{Seed: seed, Budget: n, Check: candidateCheck(meta, check, target)}
 	if corpusPath != "" {
 		progs, err := covguide.LoadCorpus(corpusPath)
 		if err != nil {
@@ -196,7 +199,7 @@ func runGuided(seed int64, n int, meta, check bool, corpusPath string) (*covguid
 // one reported. Coverage, when requested, is measured by per-worker
 // observer shards on the same gg compiles that feed the oracle lattice
 // and merged at the end — a union, so it is deterministic too.
-func runRandom(seed int64, n, jobs int, meta, wantCover bool) (*covguide.Report, error) {
+func runRandom(seed int64, n, jobs int, meta, wantCover bool, target string) (*covguide.Report, error) {
 	workers := jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -236,9 +239,9 @@ func runRandom(seed int64, n, jobs int, meta, wantCover bool) (*covguide.Report,
 					continue // a lower seed already failed; drain quickly
 				}
 				p := progen.Generate(s)
-				err := diffexec.Check(p.Render(), diffexec.Config{Obs: sh})
+				err := diffexec.Check(p.Render(), diffexec.Config{Obs: sh, Target: target})
 				if err == nil && meta {
-					err = diffexec.CheckMetaProg(p, s, diffexec.Config{})
+					err = diffexec.CheckMetaProg(p, s, diffexec.Config{Target: target})
 				}
 				if err != nil {
 					mu.Lock()
@@ -255,9 +258,9 @@ func runRandom(seed int64, n, jobs int, meta, wantCover bool) (*covguide.Report,
 	if anyFail {
 		// Re-run the lowest failing seed alone: the re-check shrinks it
 		// to a minimal reproducer and formats seed + reduced source.
-		err := diffexec.CheckSeed(lowest, diffexec.Config{})
+		err := diffexec.CheckSeed(lowest, diffexec.Config{Target: target})
 		if err == nil && meta {
-			err = diffexec.CheckMetaProg(progen.Generate(lowest), lowest, diffexec.Config{})
+			err = diffexec.CheckMetaProg(progen.Generate(lowest), lowest, diffexec.Config{Target: target})
 		}
 		if err == nil {
 			err = fmt.Errorf("seed %d failed during the sweep but not on re-check", lowest)

@@ -8,8 +8,10 @@
 //
 //	ggtables [flags] [description.g]
 //
-// With no file the built-in VAX description is used.
+// With no file the built-in description of the -target machine (default
+// vax) is used.
 //
+//	-target name  report on the named built-in machine description
 //	-naive        use the naive first-cut construction algorithm (§7)
 //	-conflicts    list every disambiguated conflict
 //	-blocks n     search for syntactic blocks on inputs up to n terminals
@@ -24,12 +26,14 @@ import (
 	"ggcg/internal/cgram"
 	"ggcg/internal/ir"
 	"ggcg/internal/mdgen"
+	"ggcg/internal/risc"
 	"ggcg/internal/tablegen"
 	"ggcg/internal/vax"
 )
 
 func main() {
 	var (
+		targetFlg = flag.String("target", "vax", "built-in machine description to report on")
 		naive     = flag.Bool("naive", false, "use the naive construction algorithm")
 		conflicts = flag.Bool("conflicts", false, "list disambiguated conflicts")
 		blocks    = flag.Int("blocks", 0, "search for syntactic blocks up to n terminals")
@@ -37,8 +41,15 @@ func main() {
 	)
 	flag.Parse()
 
-	src := vax.GenericGrammar
-	name := "built-in VAX description"
+	var src, name string
+	switch *targetFlg {
+	case "vax":
+		src, name = vax.GenericGrammar, "built-in VAX description"
+	case "risc":
+		src, name = risc.GenericGrammar, "built-in RISC description"
+	default:
+		fatal(fmt.Errorf("unknown -target %q (built-in descriptions: risc, vax)", *targetFlg))
+	}
 	if flag.NArg() == 1 {
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {

@@ -26,7 +26,9 @@ import (
 	"ggcg/internal/obs"
 	"ggcg/internal/pcc"
 	"ggcg/internal/peep"
+	_ "ggcg/internal/risc" // register the RISC-subset backend
 	"ggcg/internal/tablegen"
+	"ggcg/internal/target"
 	"ggcg/internal/transform"
 	"ggcg/internal/vax"
 	"ggcg/internal/vaxsim"
@@ -70,6 +72,13 @@ func NewRegistry(namespace string) *Registry { return obs.NewRegistry(namespace)
 
 // Config selects how a program is compiled.
 type Config struct {
+	// Target names the backend the table-driven generator drives: one of
+	// Targets(), empty meaning "vax" — the machine of the paper's
+	// experiment. An unknown name errors, listing the registered targets.
+	// The baseline generator is a hand-written VAX second pass and
+	// rejects any other target.
+	Target string
+
 	// Baseline selects the hand-written ad hoc code generator (the PCC
 	// second-pass stand-in) instead of the table-driven one.
 	Baseline bool
@@ -144,9 +153,10 @@ type Compiled struct {
 	Cached bool
 }
 
-// Compile compiles source text (the C dialect cfront accepts) to VAX
-// assembly. With Config.Cache set, repeated compilations of the same
-// source and configuration are served from the cache, byte-identically.
+// Compile compiles source text (the C dialect cfront accepts) to
+// assembly for the configured target (the VAX by default). With
+// Config.Cache set, repeated compilations of the same source and
+// configuration are served from the cache, byte-identically.
 func Compile(src string, cfg Config) (*Compiled, error) {
 	if cfg.Cache != nil && cfg.Trace == nil {
 		return compileCached(src, cfg)
@@ -161,6 +171,10 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 // exit path — the returned Compiled never aliases arena memory, because
 // Asm is a copied string and Stats are plain counters.
 func compile(src string, cfg Config) (*Compiled, error) {
+	mach, err := resolveTarget(cfg)
+	if err != nil {
+		return nil, err
+	}
 	a := ir.AcquireArena()
 	defer a.Release()
 	o := cfg.Observer
@@ -211,6 +225,7 @@ func compile(src string, cfg Config) (*Compiled, error) {
 	opt := codegen.Options{
 		Transform: transform.Options{NoReverseOps: cfg.NoReverseOps},
 		Arena:     a,
+		Target:    mach,
 		Peephole:  cfg.Peephole,
 		Obs:       o,
 		Workers:   cfg.Workers,
@@ -233,6 +248,38 @@ func compile(src string, cfg Config) (*Compiled, error) {
 		RangeIdioms:   res.Stats.RangeIdioms,
 		AsmLines:      res.Stats.AsmLines,
 	}}, nil
+}
+
+// resolveTarget maps a Config to its backend: the registry entry for
+// Config.Target, or the VAX for an empty name. The baseline generator is
+// a VAX-only hand-written second pass, so it accepts only the default.
+func resolveTarget(cfg Config) (target.Machine, error) {
+	if cfg.Target == "" || cfg.Target == vax.Target.Name() {
+		return vax.Target, nil
+	}
+	if cfg.Baseline {
+		return nil, fmt.Errorf("ggcg: the baseline generator is VAX-only; it cannot target %q", cfg.Target)
+	}
+	return target.Lookup(cfg.Target)
+}
+
+// Targets returns the names of the registered backends, sorted.
+func Targets() []string { return target.Names() }
+
+// Sim executes a target's generated assembly: the common surface of the
+// per-target simulators (vaxsim, riscsim). The VAX-specific Machine type
+// below remains the richer interface to the VAX simulator.
+type Sim = target.Sim
+
+// NewSim assembles generated output for execution on the named target's
+// simulator ("" means the VAX). Function and global names are
+// assembler-level here — callers add the leading underscore.
+func NewSim(targetName, asm string) (Sim, error) {
+	mach, err := resolveTarget(Config{Target: targetName})
+	if err != nil {
+		return nil, err
+	}
+	return mach.NewSim(asm)
 }
 
 // Machine executes generated assembly on the VAX-subset simulator.
@@ -298,9 +345,12 @@ func (m *Machine) ReadGlobal(name string, size int) (int64, error) {
 	return m.m.ReadGlobal("_"+name, size)
 }
 
-// GrammarInfo summarizes the VAX machine description and its constructed
-// tables — the statistics of the paper's §8.
+// GrammarInfo summarizes a target's machine description and its
+// constructed tables — the statistics of the paper's §8.
 type GrammarInfo struct {
+	// Target is the backend the statistics describe.
+	Target string
+
 	GenericProductions int // before type replication
 	Productions        int // after type replication
 	Terminals          int
@@ -316,22 +366,32 @@ type GrammarInfo struct {
 	PackedTableBytes int
 }
 
-// Info returns grammar and table statistics for the VAX description. The
-// statistics are computed from the same once-built shared grammar and
-// tables every compilation drives, so a CLI table dump cannot diverge
-// from what Compile actually uses.
-func Info() (GrammarInfo, error) {
-	gen, err := vax.GenericStats()
+// Info returns grammar and table statistics for the default (VAX)
+// description; InfoFor selects another target by name. The statistics are
+// computed from the same once-built shared grammar and tables every
+// compilation drives, so a CLI table dump cannot diverge from what
+// Compile actually uses.
+func Info() (GrammarInfo, error) { return InfoFor("") }
+
+// InfoFor returns grammar and table statistics for the named target (""
+// means the VAX).
+func InfoFor(targetName string) (GrammarInfo, error) {
+	mach, err := resolveTarget(Config{Target: targetName})
 	if err != nil {
 		return GrammarInfo{}, err
 	}
-	t, err := vax.Tables()
+	gen, err := mach.GenericStats()
+	if err != nil {
+		return GrammarInfo{}, err
+	}
+	t, err := mach.Tables()
 	if err != nil {
 		return GrammarInfo{}, err
 	}
 	fs := t.Grammar.Stats()
 	sz := t.Size()
 	return GrammarInfo{
+		Target:             mach.Name(),
 		GenericProductions: gen.Productions,
 		Productions:        fs.Productions,
 		Terminals:          fs.Terminals,

@@ -14,6 +14,7 @@ import (
 	"ggcg/internal/obs"
 	"ggcg/internal/peep"
 	"ggcg/internal/tablegen"
+	"ggcg/internal/target"
 	"ggcg/internal/transform"
 	"ggcg/internal/vax"
 )
@@ -31,9 +32,13 @@ type Options struct {
 	// since arenas are single-owner.
 	Arena *ir.Arena
 
+	// Target selects the backend the unit is generated for. Nil means
+	// the VAX backend, the machine of the paper's experiment.
+	Target target.Machine
+
 	// Tables overrides the instruction-selection tables (used by the
 	// experiments that rebuild tables from modified grammars). Nil means
-	// the standard VAX tables.
+	// the target's standard tables.
 	Tables *tablegen.Tables
 
 	// Trace, if non-nil, receives every pattern matcher action — the
@@ -82,10 +87,14 @@ type Result struct {
 	Stats Stats
 }
 
-// Compile runs the full code generator over a unit, producing VAX assembly
-// for the simulator's assembler.
+// Compile runs the full code generator over a unit, producing assembly
+// for the selected target's assembler.
 func Compile(u *ir.Unit, opt Options) (*Result, error) {
 	o := opt.Obs
+	mach := opt.Target
+	if mach == nil {
+		mach = vax.Target
+	}
 	t := opt.Tables
 	if t == nil {
 		// The standard tables are a cached once-per-process build, so this
@@ -93,7 +102,7 @@ func Compile(u *ir.Unit, opt Options) (*Result, error) {
 		// split: construction is not a per-compilation cost).
 		tsp := o.Start("tables")
 		var err error
-		t, err = vax.Tables()
+		t, err = mach.Tables()
 		tsp.End()
 		if err != nil {
 			return nil, err
@@ -108,20 +117,20 @@ func Compile(u *ir.Unit, opt Options) (*Result, error) {
 	sp := o.Start("codegen")
 	out := getEmitter()
 	defer emitterPool.Put(out)
-	vax.EmitGlobals(out, u.Globals)
+	mach.EmitGlobals(out, u.Globals)
 	res := &Result{}
 	// Parallelism is skipped whenever any per-action trace consumer is
 	// attached: the listing is ordered, and observer shards deliberately
 	// do not inherit trace sinks.
 	if opt.Workers > 1 && len(u.Funcs) > 1 && opt.Trace == nil && opt.WrapSem == nil && !o.WantsTrace() {
-		if err := compileFuncsParallel(out, t, u, opt, res); err != nil {
+		if err := compileFuncsParallel(out, mach, t, u, opt, res); err != nil {
 			sp.End()
 			return nil, err
 		}
 	} else {
 		labelBase := 0
 		for _, f := range u.Funcs {
-			next, err := compileFunc(out, t, f, opt, &res.Stats, labelBase)
+			next, err := compileFunc(out, mach, t, f, opt, &res.Stats, labelBase)
 			if err != nil {
 				sp.End()
 				return nil, err
@@ -135,7 +144,7 @@ func Compile(u *ir.Unit, opt Options) (*Result, error) {
 	if opt.Peephole {
 		psp := o.Start("peep")
 		var pst peep.Stats
-		res.Asm, pst = peep.Optimize(res.Asm)
+		res.Asm, pst = mach.Peephole(res.Asm)
 		res.Stats.Peephole = pst
 		res.Stats.AsmLines -= pst.LinesRemoved
 		if res.Stats.AsmLines < 0 {
@@ -149,6 +158,10 @@ func Compile(u *ir.Unit, opt Options) (*Result, error) {
 	}
 	if o.Enabled() {
 		s := res.Stats
+		// One series per backend: reports show which machine a run drove,
+		// and a registry that merges request observers (ggcd /metrics)
+		// accumulates per-target compile counts.
+		o.Count("codegen.target."+mach.Name(), 1)
 		o.Count("codegen.trees", int64(s.Matcher.Trees))
 		o.Count("codegen.shifts", int64(s.Matcher.Shifts))
 		o.Count("codegen.reduces", int64(s.Matcher.Reduces))
@@ -187,23 +200,25 @@ var matcherPool = sync.Pool{New: func() any { return &matcher.Matcher{} }}
 
 // emitterPool recycles the per-function body emitters (and, in the
 // parallel path, the per-function output emitters) so their buffers are
-// grown once and reused across functions and compilations.
-var emitterPool = sync.Pool{New: func() any { return vax.NewEmitter() }}
+// grown once and reused across functions and compilations. The emitter is
+// target-neutral (a byte buffer plus result-register tracking), so one
+// pool serves every backend.
+var emitterPool = sync.Pool{New: func() any { return target.NewEmitter() }}
 
-func getEmitter() *vax.Emitter {
-	e := emitterPool.Get().(*vax.Emitter)
+func getEmitter() *target.Emitter {
+	e := emitterPool.Get().(*target.Emitter)
 	e.Reset()
 	return e
 }
 
 // compileFunc generates one function, numbering its labels from labelBase
 // so labels are unique across the output file; it returns the next base.
-func compileFunc(out *vax.Emitter, t *tablegen.Tables, f *ir.Func, opt Options, stats *Stats, labelBase int) (int, error) {
+func compileFunc(out *target.Emitter, mach target.Machine, t *tablegen.Tables, f *ir.Func, opt Options, stats *Stats, labelBase int) (int, error) {
 	tf, err := transformFunc(f, opt)
 	if err != nil {
 		return 0, err
 	}
-	if err := generateFunc(out, t, f.Name, tf, opt, stats, labelBase); err != nil {
+	if err := generateFunc(out, mach, t, f.Name, tf, opt, stats, labelBase); err != nil {
 		return 0, err
 	}
 	return labelBase + maxLabelOf(tf) + 1, nil
@@ -250,12 +265,11 @@ func maxLabelOf(tf *ir.Func) int {
 // invoke the instruction generator, which emits formatted assembly. The
 // body is generated into its own emitter because the frame size
 // (including spill temporaries) is only known afterwards.
-func generateFunc(out *vax.Emitter, t *tablegen.Tables, name string, tf *ir.Func, opt Options, stats *Stats, labelBase int) error {
+func generateFunc(out *target.Emitter, mach target.Machine, t *tablegen.Tables, name string, tf *ir.Func, opt Options, stats *Stats, labelBase int) error {
 	o := opt.Obs
 	body := getEmitter()
 	defer emitterPool.Put(body)
-	gen := vax.NewGen(body, tf)
-	gen.LabelBase = labelBase
+	gen := mach.NewGen(body, tf, labelBase)
 	var sem matcher.Semantics = gen
 	if opt.WrapSem != nil {
 		sem = opt.WrapSem(gen)
@@ -287,7 +301,7 @@ func generateFunc(out *vax.Emitter, t *tablegen.Tables, name string, tf *ir.Func
 	first, last := phase1Spans(tf)
 	for i, it := range tf.Items {
 		for _, r := range first[i] {
-			gen.RM.Phase1Busy(r, true)
+			gen.Phase1Busy(r, true)
 		}
 		if it.Kind == ir.ItemLabel {
 			body.Label(labelBase + it.Label)
@@ -299,24 +313,25 @@ func generateFunc(out *vax.Emitter, t *tablegen.Tables, name string, tf *ir.Func
 		if _, err := m.MatchTree(it.Tree); err != nil {
 			return fmt.Errorf("codegen: %s: %v", name, err)
 		}
-		if err := gen.RM.CheckStatementEnd(); err != nil {
+		if err := gen.CheckStatementEnd(); err != nil {
 			return fmt.Errorf("codegen: %s: %v (tree %s)", name, err, it.Tree)
 		}
 		for _, r := range last[i] {
-			gen.RM.Phase1Busy(r, false)
+			gen.Phase1Busy(r, false)
 		}
 	}
 
-	vax.FuncHeader(out, name, tf.TotalFrame())
+	mach.FuncHeader(out, name, tf.TotalFrame())
 	out.Append(body)
 
 	stats.Matcher = addMatcherStats(stats.Matcher, m.Stats())
+	gs := gen.Stats()
 	if o.Enabled() {
-		o.Observe("codegen.spills_per_func", int64(gen.RM.Spills))
+		o.Observe("codegen.spills_per_func", int64(gs.Spills))
 	}
-	stats.Spills += gen.RM.Spills
-	stats.BindingIdioms += gen.BindingIdioms
-	stats.RangeIdioms += gen.RangeIdioms
+	stats.Spills += gs.Spills
+	stats.BindingIdioms += gs.BindingIdioms
+	stats.RangeIdioms += gs.RangeIdioms
 	stats.TstBackstops += body.TstBackstops
 	return nil
 }
@@ -328,7 +343,7 @@ func generateFunc(out *vax.Emitter, t *tablegen.Tables, name string, tf *ir.Func
 // path chains through compileFunc, so the result is byte-identical.
 // Workers record instrumentation into private observer shards, merged
 // after the pool drains.
-func compileFuncsParallel(out *vax.Emitter, t *tablegen.Tables, u *ir.Unit, opt Options, res *Result) error {
+func compileFuncsParallel(out *target.Emitter, mach target.Machine, t *tablegen.Tables, u *ir.Unit, opt Options, res *Result) error {
 	o := opt.Obs
 	n := len(u.Funcs)
 	workers := opt.Workers
@@ -337,7 +352,7 @@ func compileFuncsParallel(out *vax.Emitter, t *tablegen.Tables, u *ir.Unit, opt 
 	}
 
 	tfs := make([]*ir.Func, n)
-	fouts := make([]*vax.Emitter, n)
+	fouts := make([]*target.Emitter, n)
 	stats := make([]Stats, n)
 	errs := make([]error, n)
 	bases := make([]int, n)
@@ -403,7 +418,7 @@ func compileFuncsParallel(out *vax.Emitter, t *tablegen.Tables, u *ir.Unit, opt 
 	// Phases 2–4, each function into its own emitter.
 	pool(func(i int, wopt Options) {
 		fouts[i] = getEmitter()
-		errs[i] = generateFunc(fouts[i], t, u.Funcs[i].Name, tfs[i], wopt, &stats[i], bases[i])
+		errs[i] = generateFunc(fouts[i], mach, t, u.Funcs[i].Name, tfs[i], wopt, &stats[i], bases[i])
 	})
 	defer func() {
 		for _, fe := range fouts {

@@ -92,6 +92,12 @@ type Fingerprint struct {
 	// this field — different keys. Empty for the baseline generator,
 	// which does not drive the tables.
 	TableID string
+
+	// Target names the backend the unit is generated for. It is keyed
+	// independently of TableID: two targets whose descriptions somehow
+	// hashed identically would still be different machines, and must
+	// never share an entry.
+	Target string
 }
 
 // KeyFor computes the cache key for source text compiled under a
@@ -101,8 +107,8 @@ func KeyFor(src string, f Fingerprint) Key {
 	// The fingerprint is hashed in a canonical textual form; %q escapes
 	// the free-form fields so no two fingerprints can collide by
 	// concatenation.
-	fmt.Fprintf(h, "baseline=%t peephole=%t noreverse=%t scope=%q encoding=%d table=%q\n",
-		f.Baseline, f.Peephole, f.NoReverseOps, f.Scope, f.EncodingVersion, f.TableID)
+	fmt.Fprintf(h, "baseline=%t peephole=%t noreverse=%t scope=%q encoding=%d table=%q target=%q\n",
+		f.Baseline, f.Peephole, f.NoReverseOps, f.Scope, f.EncodingVersion, f.TableID, f.Target)
 	io.WriteString(h, src)
 	var k Key
 	h.Sum(k[:0])

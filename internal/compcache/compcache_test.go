@@ -329,3 +329,39 @@ func TestDefaultBounds(t *testing.T) {
 		t.Errorf("Entries = %d, want %d", st.Entries, DefaultMaxEntries)
 	}
 }
+
+// TestKeySeparatesTargets is the retargeting regression: two backends
+// must never share a cache entry, even in the pathological case where
+// their table encodings hash identically — the Target name is keyed
+// independently of TableID.
+func TestKeySeparatesTargets(t *testing.T) {
+	const src = `int main() { return 1; }`
+	base := Fingerprint{EncodingVersion: 3, TableID: "same-id"}
+	vaxFP, riscFP := base, base
+	vaxFP.Target = "vax"
+	riscFP.Target = "risc"
+	if KeyFor(src, vaxFP) == KeyFor(src, riscFP) {
+		t.Fatal("identical keys for different targets with the same table ID")
+	}
+
+	// End to end: a value stored under one target's key is invisible to
+	// the other's, and each target hits its own entry.
+	c := New(Config{})
+	for _, fp := range []Fingerprint{vaxFP, riscFP} {
+		fp := fp
+		v, hit, err := c.Do(KeyFor(src, fp), func() (any, int64, error) {
+			return fp.Target, 1, nil
+		})
+		if err != nil || hit {
+			t.Fatalf("%s: first Do: v=%v hit=%v err=%v", fp.Target, v, hit, err)
+		}
+	}
+	for _, fp := range []Fingerprint{vaxFP, riscFP} {
+		v, hit, err := c.Do(KeyFor(src, fp), func() (any, int64, error) {
+			return "recomputed", 1, nil
+		})
+		if err != nil || !hit || v != fp.Target {
+			t.Fatalf("%s: repeat Do: v=%v hit=%v err=%v, want its own entry", fp.Target, v, hit, err)
+		}
+	}
+}

@@ -35,8 +35,8 @@ import (
 	"ggcg/internal/pcc"
 	"ggcg/internal/peep"
 	"ggcg/internal/progen"
+	"ggcg/internal/target"
 	"ggcg/internal/transform"
-	"ggcg/internal/vaxsim"
 )
 
 // Oracle names, used to address fault injection and to label mismatches.
@@ -66,6 +66,15 @@ type Config struct {
 	// table coverage is measured by the same compilations that feed the
 	// oracle lattice, at no extra compile cost.
 	Obs *obs.Observer
+
+	// Target names the backend under test; empty means "vax". The
+	// table-driven oracles (gg, gg-dense, gg-peep, gg-noreverse, batch)
+	// compile for and execute on the named target's simulator. The pcc
+	// oracles drop out of the lattice for non-VAX targets: the baseline
+	// generator is a hand-written VAX second pass with no counterpart
+	// elsewhere, so the reference interpreter carries its share of the
+	// comparison.
+	Target string
 }
 
 func (c Config) mutate(oracle, asm string) string {
@@ -96,6 +105,16 @@ func (m *Mismatch) Error() string {
 // pair disagrees, and an ordinary error when the reference path itself
 // cannot process the program (front-end rejection, interpreter fault).
 func Check(src string, cfg Config) error {
+	targetName := cfg.Target
+	if targetName == "" {
+		targetName = "vax"
+	}
+	mach, err := target.Lookup(targetName)
+	if err != nil {
+		return err
+	}
+	isVAX := targetName == "vax"
+
 	u, err := cfront.Compile(src)
 	if err != nil {
 		return fmt.Errorf("front end: %w", err)
@@ -106,17 +125,18 @@ func Check(src string, cfg Config) error {
 	}
 
 	// run assembles and executes one oracle's (possibly mutated) assembly
-	// and compares its main() against the reference. Execution failure of
-	// a generated-code oracle is itself a mismatch with the reference,
-	// not a harness error: the reference ran the program fine.
+	// on the target's simulator and compares its main() against the
+	// reference. Execution failure of a generated-code oracle is itself a
+	// mismatch with the reference, not a harness error: the reference ran
+	// the program fine.
 	run := func(oracle, asm string) *Mismatch {
 		asm = cfg.mutate(oracle, asm)
 		pair := oracle + " vs " + OracleRef
-		p, err := vaxsim.Assemble(asm)
+		sim, err := mach.NewSim(asm)
 		if err != nil {
 			return &Mismatch{Pair: pair, Want: fmt.Sprint(ref), Got: "<assembly error>", Detail: err.Error()}
 		}
-		got, err := vaxsim.New(p).Call("_main")
+		got, err := sim.Call("_main")
 		if err != nil {
 			return &Mismatch{Pair: pair, Want: fmt.Sprint(ref), Got: "<execution error>", Detail: err.Error()}
 		}
@@ -127,7 +147,7 @@ func Check(src string, cfg Config) error {
 	}
 
 	// Table-driven generator, packed comb-vector hot loop.
-	gg, err := codegen.Compile(u, codegen.Options{Obs: cfg.Obs})
+	gg, err := codegen.Compile(u, codegen.Options{Target: mach, Obs: cfg.Obs})
 	if err != nil {
 		return &Mismatch{Pair: OracleGG + " vs " + OracleRef, Want: fmt.Sprint(ref),
 			Got: "<compile error>", Detail: err.Error()}
@@ -137,7 +157,7 @@ func Check(src string, cfg Config) error {
 	}
 
 	// Packed ≡ dense matcher bytes.
-	dense, err := codegen.Compile(u, codegen.Options{DenseTables: true})
+	dense, err := codegen.Compile(u, codegen.Options{Target: mach, DenseTables: true})
 	if err != nil {
 		return &Mismatch{Pair: OracleGGDense + " vs " + OracleGG, Want: "<compiles>",
 			Got: "<compile error>", Detail: err.Error()}
@@ -147,18 +167,24 @@ func Check(src string, cfg Config) error {
 		return m
 	}
 
-	// Ad hoc baseline.
-	base, err := pcc.Compile(u)
-	if err != nil {
-		return &Mismatch{Pair: OraclePCC + " vs " + OracleRef, Want: fmt.Sprint(ref),
-			Got: "<compile error>", Detail: err.Error()}
-	}
-	if m := run(OraclePCC, base.Asm); m != nil {
-		return m
+	// Ad hoc baseline — a hand-written VAX second pass, so VAX-only.
+	if isVAX {
+		base, err := pcc.Compile(u)
+		if err != nil {
+			return &Mismatch{Pair: OraclePCC + " vs " + OracleRef, Want: fmt.Sprint(ref),
+				Got: "<compile error>", Detail: err.Error()}
+		}
+		if m := run(OraclePCC, base.Asm); m != nil {
+			return m
+		}
+		basePeep, _ := peep.Optimize(base.Asm)
+		if m := run(OraclePCCPeep, basePeep); m != nil {
+			return m
+		}
 	}
 
-	// Peephole on ≡ peephole off, over both generators.
-	ggPeep, err := codegen.Compile(u, codegen.Options{Peephole: true})
+	// Peephole on ≡ peephole off.
+	ggPeep, err := codegen.Compile(u, codegen.Options{Target: mach, Peephole: true})
 	if err != nil {
 		return &Mismatch{Pair: OracleGGPeep + " vs " + OracleRef, Want: fmt.Sprint(ref),
 			Got: "<compile error>", Detail: err.Error()}
@@ -166,13 +192,10 @@ func Check(src string, cfg Config) error {
 	if m := run(OracleGGPeep, ggPeep.Asm); m != nil {
 		return m
 	}
-	basePeep, _ := peep.Optimize(base.Asm)
-	if m := run(OraclePCCPeep, basePeep); m != nil {
-		return m
-	}
 
 	// Reverse operators on ≡ off (the §5.1.3 ablation).
-	ggNoRev, err := codegen.Compile(u, codegen.Options{Transform: transform.Options{NoReverseOps: true}})
+	ggNoRev, err := codegen.Compile(u, codegen.Options{Target: mach,
+		Transform: transform.Options{NoReverseOps: true}})
 	if err != nil {
 		return &Mismatch{Pair: OracleGGNoRev + " vs " + OracleRef, Want: fmt.Sprint(ref),
 			Got: "<compile error>", Detail: err.Error()}
@@ -186,7 +209,7 @@ func Check(src string, cfg Config) error {
 	// workers within each unit. Every output must be byte-identical to
 	// the sequential compilation (which itself must match the codegen
 	// path Check already executed).
-	seq, err := ggcg.Compile(src, ggcg.Config{})
+	seq, err := ggcg.Compile(src, ggcg.Config{Target: cfg.Target})
 	if err != nil {
 		return fmt.Errorf("sequential Compile: %w", err)
 	}
@@ -195,7 +218,7 @@ func Check(src string, cfg Config) error {
 		return m
 	}
 	outs, err := ggcg.CompileBatch([]string{src, src}, ggcg.BatchConfig{
-		Workers: 2, Config: ggcg.Config{Workers: 2},
+		Workers: 2, Config: ggcg.Config{Target: cfg.Target, Workers: 2},
 	})
 	if err != nil {
 		return &Mismatch{Pair: OracleBatch + " vs " + OracleBatchSeq, Want: "<compiles>",

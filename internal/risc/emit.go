@@ -1,4 +1,4 @@
-package vax
+package risc
 
 import (
 	"math"
@@ -7,10 +7,7 @@ import (
 	"ggcg/internal/target"
 )
 
-// Emitter is the target-neutral assembly accumulator (internal/target);
-// the alias keeps the VAX generator's call sites — and its historical
-// byte-exact output — unchanged while the buffer machinery is shared
-// across backends.
+// Emitter is the target-neutral assembly accumulator (internal/target).
 type Emitter = target.Emitter
 
 // NewEmitter returns an empty emitter.
@@ -24,7 +21,10 @@ func floatBits(t ir.Type, v float64) uint64 {
 	return math.Float64bits(v)
 }
 
-// EmitGlobals writes the data directives for a unit's globals.
+// EmitGlobals writes the data directives for a unit's globals. The data
+// image is the same as the VAX backend's — riscsim and vaxsim share the
+// memory layout, so the differential harness reads either target's
+// globals identically.
 func EmitGlobals(e *Emitter, globals []ir.Global) {
 	if len(globals) == 0 {
 		return
@@ -62,21 +62,20 @@ func EmitGlobals(e *Emitter, globals []ir.Global) {
 	e.Raw(".text")
 }
 
-// FuncHeader emits the label and entry mask for a function and allocates
-// its frame. The prologue is formatted by direct appends — function-heavy
-// units emit one per function, and this is the last per-function format
-// call on the output path.
+// FuncHeader emits a function's label and frame allocation. The RISC
+// call instruction saves registers itself, so there is no entry mask;
+// the frame is claimed with a single enter.
 func FuncHeader(e *Emitter, name string, frameBytes int) {
 	e.AppendString(".globl _")
 	e.AppendString(name)
 	e.AppendString("\n_")
 	e.AppendString(name)
-	e.AppendString(":\t.word 0\n")
+	e.AppendString(":\n")
 	if frameBytes > 0 {
-		e.AppendString("\tsubl2\t$")
+		e.AppendString("\tenter\t$")
 		e.AppendInt(int64(frameBytes))
-		e.AppendString(",sp\n")
-		e.AddLines(1) // counted exactly as the former Emit("subl2", ...) was
+		e.AppendString("\n")
+		e.AddLines(1)
 	}
 	e.InvalidateResult()
 }

@@ -1,0 +1,182 @@
+package risc
+
+// GenericGrammar is the machine description for the load/store RISC
+// subset, the second target that proves the target.Machine seam. It is
+// written in the same generic (pre-replication) form as the VAX
+// description and expanded by the same mdgen preprocessor, which is the
+// paper's central claim (§3) exercised: a retarget is a new description
+// plus a new instruction table and register manager, with every
+// target-neutral phase reused unchanged.
+//
+// The description is deliberately smaller than the VAX one. The machine
+// has no memory operands except in loads and stores, so the rval
+// nonterminal disappears: every operator takes reg.t operands, and the
+// mem.t addressing patterns feed only the load production and the
+// assignment destinations. The rich indexed/deferred modes, the
+// assignment-destination instruction forms and the condition-code branch
+// patterns all vanish — a compare-and-branch machine needs exactly one
+// CBranch production, with Zero flowing through the ordinary immediate
+// chain. What remains identical is the resolution machinery: shift
+// preference, longest-rule, and dynamic choice in grammar order, which is
+// why the immediate and conversion productions keep the VAX's
+// wider-types-first listing.
+const GenericGrammar = `
+%start stmt
+
+# ---- integer constants --------------------------------------------------
+con -> Const.b ; action=con
+con -> Const.w ; action=con
+con -> Const.l ; action=con
+con -> Zero    ; action=con
+con -> One     ; action=con
+con -> Two     ; action=con
+con -> Four    ; action=con
+con -> Eight   ; action=con
+
+# Immediates: wider types first so dynamic choice picks the direct use.
+reg.d -> con ; action=imm.d
+reg.f -> con ; action=imm.f
+reg.l -> con ; action=imm.l
+reg.w -> con ; action=imm.w
+reg.b -> con ; action=imm.b
+reg.f -> Const.f ; action=fcon.f
+reg.d -> Const.d ; action=fcon.d
+
+# ---- operand structure, replicated over every machine type --------------
+%replicate b w l f d
+reg.$t  -> Dreg.$t   ; action=dreg.$t
+reg.$t  -> RegUse.$t ; action=reguse.$t
+lval.$t -> mem.$t
+lval.$t -> Name.$t   ; action=abs.$t
+lval.$t -> Dreg.$t   ; action=dreg.$t
+reg.$t  -> mem.$t    ; action=load.$t
+
+# Addressing patterns (encapsulating reductions, §5.2). The load/store
+# machine keeps only the forms its ld/st operands can express: absolute,
+# base+displacement, and the autostep forms (rewritten as explicit addi).
+# General address arithmetic falls through to the ordinary add/la
+# productions, so no bridge productions are needed.
+mem.$t -> Indir.$t Name.$t                      ; action=mabs.$t
+mem.$t -> Indir.$t Plus.l con Name.$t           ; action=mabsoff.$t
+mem.$t -> Indir.$t reg.l                        ; action=mregdef.$t
+mem.$t -> Indir.$t Dreg.l                       ; action=mregdefd.$t
+mem.$t -> Indir.$t Plus.l con reg.l             ; action=mdisp.$t
+mem.$t -> Indir.$t Plus.l con Dreg.l            ; action=mdispd.$t
+mem.$t -> Indir.$t PostInc.l Dreg.l $S          ; action=mautoinc.$t
+mem.$t -> Indir.$t PreDec.l Dreg.l $S           ; action=mautodec.$t
+
+# Arithmetic instructions: three-register forms over loaded values.
+reg.$t -> Plus.$t reg.$t reg.$t   ; action=add.$t
+reg.$t -> Minus.$t reg.$t reg.$t  ; action=sub.$t
+reg.$t -> RMinus.$t reg.$t reg.$t ; action=rsub.$t
+reg.$t -> Mul.$t reg.$t reg.$t    ; action=mul.$t
+reg.$t -> Div.$t reg.$t reg.$t    ; action=div.$t
+reg.$t -> RDiv.$t reg.$t reg.$t   ; action=rdiv.$t
+reg.$t -> Neg.$t reg.$t           ; action=neg.$t
+
+# Assignments are the store instructions.
+stmt -> Assign.$t lval.$t reg.$t  ; action=asg.$t
+stmt -> RAssign.$t reg.$t lval.$t ; action=rasg.$t
+
+# A shared assignment a = b = c stores once and passes the source value
+# on, retyped at the destination's width.
+reg.$t -> Assign.$t lval.$t reg.$t  ; action=asgv.$t
+reg.$t -> RAssign.$t reg.$t lval.$t ; action=rasgv.$t
+
+# Calls and returns.
+reg.$t -> Call.$t       ; action=call.$t
+stmt   -> Call.$t       ; action=callstmt.$t
+stmt   -> Ret.$t reg.$t ; action=ret.$t
+
+# The one conditional-branch production: no condition codes, so every
+# comparison is a compare-and-branch over two registers (a Zero operand
+# arrives through the immediate chain).
+stmt -> CBranch Cmp.$t reg.$t reg.$t Label ; action=cmpbr.$t
+
+# Taking the address of a global.
+reg.l -> Name.$t ; action=addr.$t
+%end
+
+# ---- integer-only operators ---------------------------------------------
+%replicate b w l
+reg.$t -> Mod.$t reg.$t reg.$t  ; action=mod.$t
+reg.$t -> RMod.$t reg.$t reg.$t ; action=rmod.$t
+reg.$t -> And.$t reg.$t reg.$t  ; action=and.$t
+reg.$t -> Or.$t reg.$t reg.$t   ; action=or.$t
+reg.$t -> Xor.$t reg.$t reg.$t  ; action=xor.$t
+reg.$t -> Lsh.$t reg.$t reg.$t  ; action=lsh.$t
+reg.$t -> Rsh.$t reg.$t reg.$t  ; action=rsh.$t
+reg.$t -> RLsh.$t reg.$t reg.$t ; action=rlsh.$t
+reg.$t -> RRsh.$t reg.$t reg.$t ; action=rrsh.$t
+reg.$t -> Compl.$t reg.$t       ; action=compl.$t
+%end
+
+# Taking the address of a local (la off(fp),r).
+reg.l -> Plus.l con Dreg.l ; action=lea
+
+# Narrowing assignments: the sized store reads the low bytes directly.
+stmt -> Assign.b lval.b reg.w ; action=asgn.b
+stmt -> Assign.b lval.b reg.l ; action=asgn.b
+stmt -> Assign.w lval.w reg.l ; action=asgn.w
+stmt -> RAssign.b reg.w lval.b ; action=rasgn.b
+stmt -> RAssign.b reg.l lval.b ; action=rasgn.b
+stmt -> RAssign.w reg.l lval.w ; action=rasgn.w
+
+# Narrowing assignments as values, typed at the destination's width so a
+# wider context widens them back through the conversion chains.
+reg.b -> Assign.b lval.b reg.w ; action=asgnv.b
+reg.b -> Assign.b lval.b reg.l ; action=asgnv.b
+reg.w -> Assign.w lval.w reg.l ; action=asgnv.w
+reg.b -> RAssign.b reg.w lval.b ; action=rasgnv.b
+reg.b -> RAssign.b reg.l lval.b ; action=rasgnv.b
+reg.w -> RAssign.w reg.l lval.w ; action=rasgnv.w
+
+# Argument pushes and value-less statements.
+stmt -> Arg.l reg.l ; action=arg.l
+stmt -> Arg.d reg.d ; action=arg.d
+stmt -> Jump Label   ; action=jump
+stmt -> Ret.v        ; action=retv
+stmt -> Call.v       ; action=callv
+
+# ---- the data-conversion sub-grammar ------------------------------------
+# The same hand-written cross product as the VAX description, with rval
+# collapsed into reg. Wider targets first, so reduce/reduce ties convert
+# an operand to the context's type in one instruction.
+reg.d -> reg.f ; action=cvt.d
+reg.d -> reg.l ; action=cvt.d
+reg.d -> reg.w ; action=cvt.d
+reg.d -> reg.b ; action=cvt.d
+reg.f -> reg.l ; action=cvt.f
+reg.f -> reg.w ; action=cvt.f
+reg.f -> reg.b ; action=cvt.f
+reg.l -> reg.w ; action=cvt.l
+reg.l -> reg.b ; action=cvt.l
+reg.w -> reg.b ; action=cvt.w
+
+# Explicit conversion operators.
+reg.w -> Cvt.bw reg.b ; action=cvt.w
+reg.l -> Cvt.bl reg.b ; action=cvt.l
+reg.l -> Cvt.wl reg.w ; action=cvt.l
+reg.f -> Cvt.bf reg.b ; action=cvt.f
+reg.f -> Cvt.wf reg.w ; action=cvt.f
+reg.f -> Cvt.lf reg.l ; action=cvt.f
+reg.d -> Cvt.bd reg.b ; action=cvt.d
+reg.d -> Cvt.wd reg.w ; action=cvt.d
+reg.d -> Cvt.ld reg.l ; action=cvt.d
+reg.d -> Cvt.fd reg.f ; action=cvt.d
+reg.b -> Cvt.wb reg.w ; action=cvt.b
+reg.b -> Cvt.lb reg.l ; action=cvt.b
+reg.w -> Cvt.lw reg.l ; action=cvt.w
+reg.b -> Cvt.fb reg.f ; action=cvt.b
+reg.w -> Cvt.fw reg.f ; action=cvt.w
+reg.l -> Cvt.fl reg.f ; action=cvt.l
+reg.b -> Cvt.db reg.d ; action=cvt.b
+reg.w -> Cvt.dw reg.d ; action=cvt.w
+reg.l -> Cvt.dl reg.d ; action=cvt.l
+reg.f -> Cvt.df reg.d ; action=cvt.f
+
+# Same-size re-typings (signedness changes) pass the operand through.
+reg.b -> Cvt.bb reg.b ; action=retype
+reg.w -> Cvt.ww reg.w ; action=retype
+reg.l -> Cvt.ll reg.l ; action=retype
+`

@@ -1,0 +1,344 @@
+package risc
+
+import (
+	"fmt"
+	"strings"
+
+	"ggcg/internal/cgram"
+	"ggcg/internal/ir"
+	"ggcg/internal/matcher"
+)
+
+// Reduce dispatches a production's semantic action. Like the VAX
+// description, the RISC one has no semantically qualified productions,
+// so Predicate is never consulted.
+func (g *Gen) Reduce(p *cgram.Prod, args []matcher.Value) (any, error) {
+	if p.Action == "" {
+		// Glue: condense the single right-hand-side attribute.
+		return args[0].Sem, nil
+	}
+	base, sfx, _ := strings.Cut(p.Action, ".")
+	t := ir.Void
+	if s, ok := ir.TypeBySuffix(sfx); ok {
+		t = s
+	}
+	return g.action(base, t, p, args)
+}
+
+// Predicate implements matcher.Semantics; the RISC description has no
+// semantic qualifications.
+func (g *Gen) Predicate(string, *cgram.Prod, []matcher.Value) bool { return false }
+
+func node(v matcher.Value) *ir.Node { return v.Tok.N }
+
+func opnd(v matcher.Value) (*Operand, error) {
+	o, ok := v.Sem.(*Operand)
+	if !ok {
+		return nil, fmt.Errorf("risc: expected operand attribute, have %T", v.Sem)
+	}
+	return o, nil
+}
+
+func conval(v matcher.Value) (int64, error) {
+	c, ok := v.Sem.(int64)
+	if !ok {
+		return 0, fmt.Errorf("risc: expected constant attribute, have %T", v.Sem)
+	}
+	return c, nil
+}
+
+func (g *Gen) action(base string, t ir.Type, p *cgram.Prod, args []matcher.Value) (any, error) {
+	switch base {
+	case "con":
+		return node(args[0]).Val, nil
+
+	case "imm":
+		v, err := conval(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return intOp(t, v), nil
+
+	case "fcon":
+		return fimmOp(t, node(args[0]).F), nil
+
+	case "dreg", "reguse":
+		n := node(args[0])
+		return regOp(n.Type, int(n.Val)), nil
+
+	case "abs":
+		n := node(args[0])
+		return &Operand{Mode: OLoc, Type: n.Type, Sym: n.Sym, Base: -1}, nil
+
+	case "addr":
+		n := node(args[0])
+		dst, err := g.allocReg(ir.ULong)
+		if err != nil {
+			return nil, err
+		}
+		g.E.EmitResultFirst("la", dst, "_"+n.Sym)
+		return dst, nil
+
+	case "lea":
+		off, err := conval(args[1])
+		if err != nil {
+			return nil, err
+		}
+		b := int(node(args[2]).Val)
+		dst, err := g.allocReg(ir.ULong)
+		if err != nil {
+			return nil, err
+		}
+		g.E.EmitResultFirst("la", dst, fmt.Sprintf("%d(%s)", off, ir.RegName(b)))
+		return dst, nil
+
+	case "load":
+		o, err := opnd(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return g.valueReg(o)
+
+	case "mabs", "mabsoff", "mregdef", "mregdefd", "mdisp", "mdispd",
+		"mautoinc", "mautodec":
+		return g.memAction(base, args)
+
+	case "add", "sub", "rsub", "mul", "div", "rdiv", "mod", "rmod",
+		"and", "or", "xor":
+		n := node(args[0])
+		a, err := opnd(args[1])
+		if err != nil {
+			return nil, err
+		}
+		b, err := opnd(args[2])
+		if err != nil {
+			return nil, err
+		}
+		if base == "rsub" || base == "rdiv" || base == "rmod" {
+			// Reverse operators: the first attribute is the right operand.
+			a, b = b, a
+			base = base[1:]
+		}
+		return g.op3(base, n.Type, a, b)
+
+	case "lsh", "rlsh", "rsh", "rrsh":
+		n := node(args[0])
+		val, err := opnd(args[1])
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := opnd(args[2])
+		if err != nil {
+			return nil, err
+		}
+		key := "lsh"
+		if base == "rsh" || base == "rrsh" {
+			key = "rsh"
+		}
+		if base == "rlsh" || base == "rrsh" {
+			val, cnt = cnt, val
+		}
+		return g.op3(key, n.Type, val, cnt)
+
+	case "neg", "compl":
+		src, err := opnd(args[1])
+		if err != nil {
+			return nil, err
+		}
+		key := "neg"
+		if base == "compl" {
+			key = "not"
+		}
+		return g.op2(key, node(args[0]).Type, src)
+
+	case "cvt":
+		src, err := opnd(args[len(args)-1])
+		if err != nil {
+			return nil, err
+		}
+		return g.convert(t, src)
+
+	case "retype":
+		src, err := opnd(args[1])
+		if err != nil {
+			return nil, err
+		}
+		out := &Operand{}
+		*out = *src
+		out.Type = node(args[0]).Type
+		out.Owned = nil
+		out.Owned = g.RM.Transfer(src, out)
+		return out, nil
+
+	case "call":
+		n := node(args[0])
+		g.emitCall(n)
+		return g.callResult(n.Type)
+
+	case "callstmt", "callv":
+		g.emitCall(node(args[0]))
+		return nil, nil
+
+	case "asg", "asgn":
+		dst, err := opnd(args[1])
+		if err != nil {
+			return nil, err
+		}
+		src, err := opnd(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return nil, g.assign(t, src, dst)
+
+	case "rasg", "rasgn":
+		src, err := opnd(args[1])
+		if err != nil {
+			return nil, err
+		}
+		dst, err := opnd(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return nil, g.assign(t, src, dst)
+
+	case "asgv", "rasgv", "asgnv", "rasgnv":
+		di, si := 1, 2
+		if base == "rasgv" || base == "rasgnv" {
+			di, si = 2, 1
+		}
+		dst, err := opnd(args[di])
+		if err != nil {
+			return nil, err
+		}
+		src, err := opnd(args[si])
+		if err != nil {
+			return nil, err
+		}
+		return g.assignValue(t, src, dst)
+
+	case "arg":
+		src, err := opnd(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if t == ir.Double {
+			switch src.Mode {
+			case OReg:
+				g.E.Emit("pushd", ir.RegName(src.Reg))
+			default:
+				g.E.Emit("pushd", src.Asm())
+			}
+		} else {
+			switch src.Mode {
+			case OReg:
+				g.E.Emit("push", ir.RegName(src.Reg))
+			default:
+				g.E.Emit("push", src.Asm())
+			}
+		}
+		g.RM.Consume(src)
+		return nil, nil
+
+	case "ret":
+		src, err := opnd(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := g.move(t, src, regOp(t, 0)); err != nil {
+			return nil, err
+		}
+		g.RM.Consume(src)
+		g.E.Emit("ret")
+		return nil, nil
+
+	case "retv":
+		g.E.Emit("ret")
+		return nil, nil
+
+	case "jump":
+		g.E.Emit("jmp", g.label(args[1]))
+		return nil, nil
+
+	case "cmpbr":
+		a, err := opnd(args[2])
+		if err != nil {
+			return nil, err
+		}
+		b, err := opnd(args[3])
+		if err != nil {
+			return nil, err
+		}
+		return nil, g.cmpbr(node(args[1]), a, b, g.label(args[4]))
+	}
+	return nil, fmt.Errorf("risc: unknown action %q (production %d: %s)", p.Action, p.Index, p)
+}
+
+func (g *Gen) label(v matcher.Value) string {
+	return fmt.Sprintf("L%d", g.LabelBase+int(node(v).Val))
+}
+
+// memAction builds the location descriptor for an addressing pattern:
+// the encapsulating reductions of §5.2, reduced to the load/store forms.
+func (g *Gen) memAction(base string, args []matcher.Value) (any, error) {
+	indir := node(args[0])
+	out := &Operand{Mode: OLoc, Type: indir.Type, Base: -1}
+	switch base {
+	case "mabs":
+		out.Sym = node(args[1]).Sym
+	case "mabsoff":
+		off, err := conval(args[2])
+		if err != nil {
+			return nil, err
+		}
+		out.Off, out.Sym = off, node(args[3]).Sym
+	case "mregdef":
+		r, err := g.ensureReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		out.Base = r.Reg
+		out.Owned = g.RM.Transfer(r, out)
+	case "mregdefd":
+		out.Base = int(node(args[1]).Val)
+	case "mdisp":
+		off, err := conval(args[2])
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.ensureReg(args[3])
+		if err != nil {
+			return nil, err
+		}
+		out.Off, out.Base = off, r.Reg
+		out.Owned = g.RM.Transfer(r, out)
+	case "mdispd":
+		off, err := conval(args[2])
+		if err != nil {
+			return nil, err
+		}
+		out.Off, out.Base = off, int(node(args[3]).Val)
+	case "mautoinc":
+		out.Base, out.Auto = int(node(args[2]).Val), 1
+		out.Step = int64(indir.Type.Size())
+	case "mautodec":
+		out.Base, out.Auto = int(node(args[2]).Val), -1
+		out.Step = int64(indir.Type.Size())
+	default:
+		return nil, fmt.Errorf("risc: bad mem action %q", base)
+	}
+	return out, nil
+}
+
+// ensureReg forces a reg.l attribute to actually be a register: the
+// conversion chains can deliver a retyped immediate where an address
+// base register is required.
+func (g *Gen) ensureReg(v matcher.Value) (*Operand, error) {
+	o, err := opnd(v)
+	if err != nil {
+		return nil, err
+	}
+	if o.Mode == OReg {
+		return o, nil
+	}
+	return g.valueReg(o)
+}

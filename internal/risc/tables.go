@@ -1,0 +1,104 @@
+package risc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"ggcg/internal/cgram"
+	"ggcg/internal/ir"
+	"ggcg/internal/mdgen"
+	"ggcg/internal/tablegen"
+)
+
+var (
+	grammarOnce sync.Once
+	grammar     *cgram.Grammar
+	grammarErr  error
+)
+
+// Grammar returns the type-replicated RISC machine description, expanded
+// and parsed once per process. The grammar is immutable after parsing,
+// so the shared copy may be used from any number of goroutines.
+func Grammar() (*cgram.Grammar, error) {
+	grammarOnce.Do(func() {
+		grammar, grammarErr = GrammarFrom(GenericGrammar)
+	})
+	return grammar, grammarErr
+}
+
+// GenericStats sizes the generic (pre-replication) description, the
+// retargeting-effort number the paper's §8 table compares across
+// machines.
+func GenericStats() (cgram.Stats, error) {
+	g, err := cgram.Parse(mdgen.Generic(GenericGrammar))
+	if err != nil {
+		return cgram.Stats{}, err
+	}
+	return g.Stats(), nil
+}
+
+// GrammarFrom expands and parses a generic description text.
+func GrammarFrom(src string) (*cgram.Grammar, error) {
+	expanded, err := mdgen.Expand(src)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cgram.Parse(expanded)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(ir.TermArity); err != nil {
+		return nil, fmt.Errorf("risc: %v", err)
+	}
+	return g, nil
+}
+
+var (
+	tablesOnce sync.Once
+	tables     *tablegen.Tables
+	tablesErr  error
+)
+
+// Tables returns the constructed instruction-selection tables for the
+// RISC description, building them once per process and sharing them
+// read-only across concurrent compilations.
+func Tables() (*tablegen.Tables, error) {
+	tablesOnce.Do(func() {
+		g, err := Grammar()
+		if err != nil {
+			tablesErr = err
+			return
+		}
+		tables, tablesErr = tablegen.Build(g, tablegen.Options{})
+	})
+	return tables, tablesErr
+}
+
+var (
+	tableIDOnce sync.Once
+	tableID     string
+	tableIDErr  error
+)
+
+// TableID returns a hex content hash identifying the shared tables (see
+// the VAX backend's TableID); any change to the machine description or
+// the table constructor changes the ID. Computed once per process.
+func TableID() (string, error) {
+	tableIDOnce.Do(func() {
+		t, err := Tables()
+		if err != nil {
+			tableIDErr = err
+			return
+		}
+		h := sha256.New()
+		fmt.Fprintf(h, "encoding=%d\n", tablegen.EncodingVersion)
+		if err := t.Encode(h); err != nil {
+			tableIDErr = fmt.Errorf("risc: hashing tables: %v", err)
+			return
+		}
+		tableID = hex.EncodeToString(h.Sum(nil))
+	})
+	return tableID, tableIDErr
+}

@@ -1,0 +1,60 @@
+package target
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Machine)
+)
+
+// Register announces a backend under its Name. Backends call it from
+// their package init, so importing a target package (directly or through
+// ggcg) is what makes it selectable. Registering a nil machine or a
+// second machine under an already-taken name panics: both are build-time
+// wiring mistakes, not runtime conditions.
+func Register(m Machine) {
+	if m == nil {
+		panic("target: Register(nil)")
+	}
+	name := m.Name()
+	if name == "" {
+		panic("target: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("target: Register called twice for %q", name))
+	}
+	registry[name] = m
+}
+
+// Lookup returns the backend registered under name. An unknown name
+// errors with the registered-target list, so a mistyped -target flag
+// tells the user what would have worked.
+func Lookup(name string) (Machine, error) {
+	regMu.RLock()
+	m, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("target: unknown target %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return m, nil
+}
+
+// Names returns the registered target names, sorted.
+func Names() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -160,6 +160,16 @@ func (o *Operand) Asm() string {
 	return "?"
 }
 
+// ResultReg returns the register the operand names when it is exactly a
+// register, or -1 — the emitter's condition-code tracking hook
+// (target.Operand).
+func (o *Operand) ResultReg() int {
+	if o.Mode == OReg {
+		return o.Reg
+	}
+	return -1
+}
+
 func (o *Operand) index() string {
 	if o.Xreg >= 0 {
 		return "[" + ir.RegName(o.Xreg) + "]"

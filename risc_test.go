@@ -1,0 +1,183 @@
+package ggcg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRiscEndToEnd drives the public retargeting surface: Config.Target
+// selects the RISC backend, NewSim executes its output on the bundled
+// RISC simulator, and a spread of language features returns the right
+// values. The deep differential evidence lives in internal/diffexec; this
+// is the API-level smoke the README's retargeting recipe promises.
+func TestRiscEndToEnd(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args []int64
+		want int64
+	}{
+		{"mul", `int main() { return 6 * 7; }`, nil, 42},
+		{"args", `int main(int x, int y) { return x - y; }`, []int64{50, 8}, 42},
+		{"forloop", `int main() { int i, s; s = 0; for (i = 0; i < 10; i++) s += i; return s; }`, nil, 45},
+		{"global", `int g; int main() { g = 1234; return g; }`, nil, 1234},
+		{"gcd", `
+int gcd(int a, int b) { while (b) { int t; t = a % b; a = b; b = t; } return a; }
+int main(int a, int b) { if (a < b) return gcd(b, a); else return gcd(a, b); }`,
+			[]int64{54, 24}, 6},
+		{"double", `int main() { double d; d = 2.5; d = d * 4.0; return (int)d; }`, nil, 10},
+		{"narrowing", `int main() { char c; c = 300; return c; }`, nil, 44},
+		{"unsigned", `unsigned u; int main() { u = 7; return u / 2; }`, nil, 3},
+	}
+	for _, tc := range cases {
+		out, err := Compile(tc.src, Config{Target: "risc"})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.name, err)
+		}
+		if out.Stats.Trees == 0 || out.Stats.AsmLines == 0 {
+			t.Errorf("%s: stats not populated: %+v", tc.name, out.Stats)
+		}
+		s, err := NewSim("risc", out.Asm)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", tc.name, err)
+		}
+		r, err := s.Call("_main", tc.args...)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", tc.name, err)
+		}
+		if r != tc.want {
+			t.Errorf("%s: main(%v) = %d, want %d", tc.name, tc.args, r, tc.want)
+		}
+		if s.Steps() == 0 {
+			t.Errorf("%s: no instructions counted", tc.name)
+		}
+	}
+}
+
+// TestRiscReadGlobal: the shared data layout means globals read back
+// through the target-neutral Sim surface.
+func TestRiscReadGlobal(t *testing.T) {
+	out, err := Compile(`int g; int main() { g = 4321; return 0; }`, Config{Target: "risc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim("risc", out.Asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Call("_main"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ReadGlobal("_g", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4321 {
+		t.Errorf("g = %d, want 4321", v)
+	}
+}
+
+// TestTargetsRegistered: both backends are selectable by name, sorted.
+func TestTargetsRegistered(t *testing.T) {
+	names := Targets()
+	var haveVAX, haveRISC bool
+	for _, n := range names {
+		haveVAX = haveVAX || n == "vax"
+		haveRISC = haveRISC || n == "risc"
+	}
+	if !haveVAX || !haveRISC {
+		t.Fatalf("Targets() = %v, want both vax and risc", names)
+	}
+}
+
+// TestUnknownTargetListsRegistered: a mistyped target name fails with the
+// list of names that would have worked.
+func TestUnknownTargetListsRegistered(t *testing.T) {
+	_, err := Compile(`int main() { return 0; }`, Config{Target: "pdp11"})
+	if err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	for _, want := range []string{"pdp11", "risc", "vax"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if _, err := NewSim("pdp11", ""); err == nil {
+		t.Error("NewSim accepted an unknown target")
+	}
+}
+
+// TestBaselineRejectsNonVAX: the ad hoc baseline is a hand-written VAX
+// second pass; asking it for another target must error, not silently emit
+// VAX code labeled otherwise.
+func TestBaselineRejectsNonVAX(t *testing.T) {
+	_, err := Compile(`int main() { return 0; }`, Config{Target: "risc", Baseline: true})
+	if err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("baseline with Target=risc: err = %v, want baseline rejection", err)
+	}
+}
+
+// TestInfoForRisc reports the §8-style statistics for the second target.
+func TestInfoForRisc(t *testing.T) {
+	info, err := InfoFor("risc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Target != "risc" {
+		t.Errorf("Target = %q, want risc", info.Target)
+	}
+	if info.States == 0 || info.Productions == 0 || info.GenericProductions == 0 {
+		t.Errorf("statistics not populated: %+v", info)
+	}
+	if info.GenericProductions >= info.Productions {
+		t.Errorf("generic %d not smaller than replicated %d",
+			info.GenericProductions, info.Productions)
+	}
+	if info.PackedTableBytes <= 0 || info.PackedTableBytes >= info.TableBytes {
+		t.Errorf("packed %d bytes not smaller than dense %d", info.PackedTableBytes, info.TableBytes)
+	}
+}
+
+// TestCacheSeparatesTargets: one shared cache, one source, two targets —
+// the second target's compile must miss (different machine, different
+// output), and each target must hit its own entry on repeat.
+func TestCacheSeparatesTargets(t *testing.T) {
+	const src = `int main() { return 6 * 7; }`
+	cache := NewCache(CacheConfig{})
+	vaxOut, err := Compile(src, Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vaxOut.Cached {
+		t.Error("first VAX compile reported Cached")
+	}
+	riscOut, err := Compile(src, Config{Target: "risc", Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if riscOut.Cached {
+		t.Error("first RISC compile was served from the VAX entry")
+	}
+	if riscOut.Asm == vaxOut.Asm {
+		t.Error("RISC and VAX compiles produced identical assembly")
+	}
+	for name, cfg := range map[string]Config{
+		"vax":  {Cache: cache},
+		"risc": {Target: "risc", Cache: cache},
+	} {
+		again, err := Compile(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Cached {
+			t.Errorf("%s: repeat compile missed the cache", name)
+		}
+		want := vaxOut.Asm
+		if name == "risc" {
+			want = riscOut.Asm
+		}
+		if again.Asm != want {
+			t.Errorf("%s: cached assembly differs from the fresh compile", name)
+		}
+	}
+}
